@@ -1,0 +1,60 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's figures or worked examples
+(see DESIGN.md's experiment index and EXPERIMENTS.md for the recorded
+results).  Each test both *asserts the paper's result* and *times* the
+operation that produces it, so ``pytest benchmarks/ --benchmark-only``
+doubles as the reproduction record and a performance baseline.
+"""
+
+from __future__ import annotations
+
+from repro.core.reduction import Rule
+
+
+def paper_reduction_script(sg):
+    """The circled elimination order of Figure 3 (Example #1), as steps."""
+
+    def edge(principal, trusted_name, conj_agent):
+        commitment = sg.commitment_for(sg.interaction.find_edge(principal, trusted_name))
+        conjunction = next(j for j in sg.conjunctions if j.agent.name == conj_agent)
+        return sg.find_edge(commitment, conjunction)
+
+    return [
+        (Rule.COMMITMENT_FRINGE, edge("Producer", "Trusted2", "Trusted2")),
+        (Rule.CONJUNCTION_FRINGE, edge("Broker", "Trusted2", "Trusted2")),
+        (Rule.COMMITMENT_FRINGE, edge("Consumer", "Trusted1", "Trusted1")),
+        (Rule.CONJUNCTION_FRINGE, edge("Broker", "Trusted1", "Trusted1")),
+        (Rule.COMMITMENT_FRINGE, edge("Broker", "Trusted1", "Broker")),
+        (Rule.COMMITMENT_FRINGE, edge("Broker", "Trusted2", "Broker")),
+    ]
+
+
+def figure4_initial_script(sg):
+    """The four eliminations the paper performs on Figure 4 before the impasse."""
+
+    def edge(principal, trusted_name, conj_agent):
+        commitment = sg.commitment_for(sg.interaction.find_edge(principal, trusted_name))
+        conjunction = next(j for j in sg.conjunctions if j.agent.name == conj_agent)
+        return sg.find_edge(commitment, conjunction)
+
+    return [
+        (Rule.COMMITMENT_FRINGE, edge("Source1", "Trusted2", "Trusted2")),
+        (Rule.COMMITMENT_FRINGE, edge("Source2", "Trusted4", "Trusted4")),
+        (Rule.CONJUNCTION_FRINGE, edge("Broker1", "Trusted2", "Trusted2")),
+        (Rule.CONJUNCTION_FRINGE, edge("Broker2", "Trusted4", "Trusted4")),
+    ]
+
+
+PAPER_SECTION5_LISTING = [
+    "1. Producer sends document to Trusted2.",
+    "2. Trusted2 notifies Broker.",
+    "3. Consumer sends money to Trusted1.",
+    "4. Trusted1 notifies Broker.",
+    "5. Broker sends money to Trusted2.",
+    "6. Trusted2 sends document to Broker.",
+    "7. Trusted2 sends money to Producer.",
+    "8. Broker sends document to Trusted1.",
+    "9. Trusted1 sends document to Consumer.",
+    "10. Trusted1 sends money to Broker.",
+]

@@ -1,0 +1,36 @@
+"""FIG1 — Figure 1: the interaction graph of Example #1.
+
+Paper: a consumer, a broker, and a producer joined in a chain by two trusted
+intermediaries (c–t1–b–t2–p); the graph is bipartite between principals and
+trusted components.
+"""
+
+from repro.workloads import example1
+
+
+def test_bench_figure1_interaction_graph(benchmark):
+    problem = benchmark(example1)
+    graph = problem.interaction
+    graph.validate()
+
+    assert {p.name for p in graph.principals} == {"Consumer", "Broker", "Producer"}
+    assert {t.name for t in graph.trusted_components} == {"Trusted1", "Trusted2"}
+    assert len(graph.edges) == 4
+
+    # Chain degrees: leaves 1, everything internal 2 (Figure 1's shape).
+    degrees = {p.name: graph.degree(p) for p in graph.parties}
+    assert degrees == {
+        "Consumer": 1,
+        "Broker": 2,
+        "Producer": 1,
+        "Trusted1": 2,
+        "Trusted2": 2,
+    }
+
+    # Bipartite: every edge joins a principal to a trusted component.
+    for edge in graph.edges:
+        assert edge.principal.is_principal and edge.trusted.is_trusted
+
+    # Exactly one priority marking: the broker's sale side (red at ∧B).
+    (priority,) = graph.priority_edges
+    assert (priority.principal.name, priority.trusted.name) == ("Broker", "Trusted1")

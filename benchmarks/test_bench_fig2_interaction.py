@@ -1,0 +1,42 @@
+"""FIG2 — Figure 2: the interaction graph of Example #2.
+
+Paper: one consumer, two broker/source pairs, four trusted intermediaries;
+the consumer wants both documents (d1 from Broker1/Source1, d2 from
+Broker2/Source2) or neither.
+"""
+
+from repro.workloads import example2
+
+
+def test_bench_figure2_interaction_graph(benchmark):
+    problem = benchmark(example2)
+    graph = problem.interaction
+    graph.validate()
+
+    assert {p.name for p in graph.principals} == {
+        "Consumer",
+        "Broker1",
+        "Broker2",
+        "Source1",
+        "Source2",
+    }
+    assert len(graph.trusted_components) == 4
+    assert len(graph.edges) == 8
+
+    # Figure 2's wiring: T1 consumer-broker1, T2 broker1-source1,
+    # T3 consumer-broker2, T4 broker2-source2.
+    def endpoints(t):
+        return {e.principal.name for e in graph.edges if e.trusted.name == t}
+
+    assert endpoints("Trusted1") == {"Consumer", "Broker1"}
+    assert endpoints("Trusted2") == {"Broker1", "Source1"}
+    assert endpoints("Trusted3") == {"Consumer", "Broker2"}
+    assert endpoints("Trusted4") == {"Broker2", "Source2"}
+
+    # The consumer is internal (degree 2): its conjunction is the bundle.
+    consumer = next(p for p in graph.principals if p.name == "Consumer")
+    assert graph.degree(consumer) == 2
+
+    # Both brokers demand a committed buyer first.
+    marks = {(e.principal.name, e.trusted.name) for e in graph.priority_edges}
+    assert marks == {("Broker1", "Trusted1"), ("Broker2", "Trusted3")}

@@ -1,0 +1,29 @@
+"""FIG5 — Figure 5: Example #1 fully reduces — the exchange is feasible.
+
+Paper: "With all of the nodes disconnected (Figure 5), we see that this is a
+feasible transaction."  Any greedy order must reach the same verdict
+(§4.2.4), so this bench reduces with the engine's automatic strategy.
+"""
+
+from repro.core.reduction import reduce_graph
+from repro.workloads import example1
+
+PROBLEM = example1()
+
+
+def test_bench_figure5_full_reduction(benchmark):
+    sg = PROBLEM.sequencing_graph()
+    trace = benchmark(reduce_graph, sg)
+
+    assert trace.feasible
+    assert trace.remaining == frozenset()
+    assert len(trace.steps) == 6  # every edge eliminated
+    assert len(trace.commitment_order) == 4  # all commitments disconnected
+    assert len(trace.conjunction_order) == 3
+    assert trace.blockages == ()
+
+
+def test_bench_figure5_feasibility_verdict(benchmark):
+    verdict = benchmark(PROBLEM.feasibility)
+    assert verdict.feasible
+    assert verdict.explain().startswith("feasible")

@@ -1,0 +1,40 @@
+"""FIG6 — Figure 6: Example #2 reaches an impasse — not shown feasible.
+
+Paper: after the four removable edges go, "the only two fringe nodes,
+Broker1–Trusted2 and Broker2–Trusted4, are connected to their respective
+conjunction nodes by black edges that are subjugated to the red edges of
+those nodes... we have reached an impasse."
+"""
+
+from repro.core.reduction import reduce_graph
+from repro.workloads import example2
+
+PROBLEM = example2()
+
+
+def test_bench_figure6_impasse(benchmark):
+    sg = PROBLEM.sequencing_graph()
+    trace = benchmark(reduce_graph, sg)
+
+    assert not trace.feasible
+    assert len(trace.steps) == 4
+    assert len(trace.remaining) == 10
+
+    # The diagnosis matches the paper's narration exactly: each broker's
+    # purchase edge is fringe but pre-empted by that broker's red sale edge.
+    assert len(trace.blockages) == 2
+    blocked = {b.edge.commitment.label for b in trace.blockages}
+    assert blocked == {"Trusted2->Broker1", "Trusted4->Broker2"}
+    for blockage in trace.blockages:
+        (red,) = blockage.blocking_red
+        assert red.is_red
+        assert red.conjunction == blockage.edge.conjunction
+
+
+def test_bench_figure6_verdict_is_not_shown_feasible(benchmark):
+    from repro.core.feasibility import Verdict
+
+    verdict = benchmark(PROBLEM.feasibility)
+    # The paper is explicit that failure of the test proves nothing stronger.
+    assert verdict.verdict is Verdict.NOT_SHOWN_FEASIBLE
+    assert "not shown feasible" in verdict.explain()

@@ -1,0 +1,72 @@
+"""FIG7 — Figure 7 / §6: indemnity orderings on the three-broker bundle.
+
+Paper, with customer prices $10/$20/$30:
+
+* Order #1 — Broker1 indemnifies first ($50), Broker2 next ($40): **$90**.
+* Order #2 — Broker3 first ($30), Broker2 next ($40): **$70**.
+* The greedy rule (highest-cost subtree first) minimizes the total; the
+  cheapest piece goes last and needs no indemnity.
+"""
+
+from repro.core.indemnity import (
+    brute_force_minimal_plan,
+    minimal_indemnity_plan,
+    plan_indemnities,
+    required_indemnity,
+)
+from repro.workloads import figure7
+
+PROBLEM = figure7()
+EDGES = {
+    e.trusted.name: e
+    for e in PROBLEM.interaction.edges
+    if e.principal.name == "Consumer"
+}
+D1, D2, D3 = EDGES["Trusted1"], EDGES["Trusted3"], EDGES["Trusted5"]
+
+
+def test_bench_required_amounts(benchmark):
+    amounts = benchmark(
+        lambda: tuple(required_indemnity(PROBLEM, e) for e in (D1, D2, D3))
+    )
+    # Each piece is indemnified by the cost of the OTHER pieces.
+    assert amounts == (5000, 4000, 3000)
+
+
+def test_bench_ordering1_costs_90(benchmark):
+    plan = benchmark(plan_indemnities, PROBLEM, [D1, D2, D3])
+    assert plan.feasible
+    assert plan.total_cents == 9000
+    assert [o.offeror.name for o in plan.offers] == ["Broker1", "Broker2"]
+    assert [o.amount_cents for o in plan.offers] == [5000, 4000]
+
+
+def test_bench_ordering1_intermediate_still_infeasible(benchmark):
+    # "Even after Broker #1 offers the indemnity, the transaction is not
+    # feasible, because the problem is essentially still a two broker
+    # problem between #2 and #3."
+    plan = benchmark(
+        plan_indemnities, PROBLEM, [D1], stop_when_feasible=False
+    )
+    assert not plan.feasible
+
+
+def test_bench_ordering2_costs_70(benchmark):
+    plan = benchmark(plan_indemnities, PROBLEM, [D3, D2, D1])
+    assert plan.feasible
+    assert plan.total_cents == 7000
+    assert [o.amount_cents for o in plan.offers] == [3000, 4000]
+
+
+def test_bench_greedy_minimizes(benchmark):
+    plan = benchmark(minimal_indemnity_plan, PROBLEM)
+    assert plan.feasible
+    assert plan.total_cents == 7000
+    # Greedy = descending subtree cost: d3 ($30) first, then d2 ($20);
+    # the cheapest piece (d1) is last and uncovered.
+    assert [o.covers.trusted.name for o in plan.offers] == ["Trusted5", "Trusted3"]
+
+
+def test_bench_greedy_is_globally_optimal(benchmark):
+    brute = benchmark(brute_force_minimal_plan, PROBLEM)
+    assert brute.total_cents == minimal_indemnity_plan(PROBLEM).total_cents == 7000

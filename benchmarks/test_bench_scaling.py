@@ -1,0 +1,57 @@
+"""SCALE — reduction cost versus graph size (this reproduction's own bench).
+
+The paper gives no complexity analysis; empirically the greedy reduction is
+near-linear in the number of sequencing edges on chains and bundles.  These
+benches time the full pipeline (construction + reduction) at increasing
+sizes so regressions are visible, and assert the verdicts stay correct.
+"""
+
+import pytest
+
+from repro.core.reduction import reduce_graph
+from repro.workloads import broker_bundle, resale_chain
+
+
+@pytest.mark.parametrize("n_brokers", [1, 4, 16, 64])
+def test_bench_chain_reduction_scaling(benchmark, n_brokers):
+    problem = resale_chain(n_brokers, retail=1000.0)
+    sg = problem.sequencing_graph()
+
+    trace = benchmark(reduce_graph, sg)
+    assert trace.feasible
+    assert len(trace.steps) == len(sg.edges)
+
+
+@pytest.mark.parametrize("k", [2, 8, 32])
+def test_bench_bundle_reduction_scaling(benchmark, k):
+    prices = tuple(float(i + 1) for i in range(k))
+    problem = broker_bundle(k, prices)
+    sg = problem.sequencing_graph()
+
+    trace = benchmark(reduce_graph, sg)
+    assert not trace.feasible
+    assert len(trace.blockages) == k
+
+
+@pytest.mark.parametrize("n_brokers", [4, 16, 64])
+def test_bench_execution_recovery_scaling(benchmark, n_brokers):
+    from repro.core.execution import recover_execution
+
+    problem = resale_chain(n_brokers, retail=1000.0)
+    trace = reduce_graph(problem.sequencing_graph())
+
+    sequence = benchmark(recover_execution, trace)
+    assert len(sequence) == 5 * (n_brokers + 1)
+    assert sequence.violated_constraints() == []
+
+
+@pytest.mark.parametrize("k", [3, 6, 9])
+def test_bench_indemnity_planning_scaling(benchmark, k):
+    from repro.core.indemnity import minimal_indemnity_plan
+
+    prices = tuple(float(10 * (i + 1)) for i in range(k))
+    problem = broker_bundle(k, prices)
+
+    plan = benchmark(minimal_indemnity_plan, problem)
+    assert plan.feasible
+    assert len(plan.offers) == k - 1

@@ -1,0 +1,57 @@
+"""TRUST — §4.2.3: direct trust between principals, and its asymmetry.
+
+Paper: on Example #2, "in the first variant [Source1 trusts Broker1], the
+exchange becomes feasible; but in the second [Broker1 trusts Source1], it
+remains unfeasible.  This difference underscores the fact that trust need
+not be symmetric... and the asymmetry can directly affect the ultimate
+feasibility of transactions."
+"""
+
+from repro.core.reduction import reduce_graph
+from repro.workloads import (
+    example2,
+    example2_broker_trusts_source,
+    example2_source_trusts_broker,
+)
+
+
+def test_bench_variant1_source_trusts_broker_feasible(benchmark):
+    problem = example2_source_trusts_broker()
+    trace = benchmark(lambda: reduce_graph(problem.sequencing_graph()))
+    assert trace.feasible
+    # The unlock is the persona removal: some step fired via clause 2.
+    assert any(step.via_persona for step in trace.steps)
+
+
+def test_bench_variant1_domino_effect(benchmark):
+    """After the persona removal, everything cascades: 14 steps total."""
+    problem = example2_source_trusts_broker()
+    trace = benchmark(lambda: reduce_graph(problem.sequencing_graph()))
+    assert len(trace.steps) == 14  # every edge of Figure 4 eliminated
+
+
+def test_bench_variant2_broker_trusts_source_still_infeasible(benchmark):
+    problem = example2_broker_trusts_source()
+    trace = benchmark(lambda: reduce_graph(problem.sequencing_graph()))
+    assert not trace.feasible
+    # Source1's persona unlocks nothing new: same 10-edge impasse as Fig 6.
+    assert len(trace.remaining) == 10
+
+
+def test_bench_trust_asymmetry_matrix(benchmark):
+    """Verdicts for (no trust, s1→b1, b1→s1, mutual) in one sweep."""
+
+    def verdicts():
+        base = example2()
+        return (
+            base.feasibility().feasible,
+            example2_source_trusts_broker().feasibility().feasible,
+            example2_broker_trusts_source().feasibility().feasible,
+            base.with_trust("Source1", "Broker1")
+            .with_trust("Broker1", "Source1")
+            .feasibility()
+            .feasible,
+        )
+
+    none_, forward, backward, mutual = benchmark(verdicts)
+    assert (none_, forward, backward, mutual) == (False, True, False, True)

@@ -1,0 +1,36 @@
+"""POOR — §5's closing variant: the poor broker.
+
+Paper: if the broker "was counting on the customer's funds to buy the
+document... the black arc between ∧B and the Broker–Trusted2 node [changes]
+to a red arc.  This means that there are two red edges emerging from ∧B,
+each of which must be done first.  Since this is impossible, the whole
+exchange is infeasible."
+"""
+
+from repro.core.reduction import reduce_graph
+from repro.workloads import example1, poor_broker
+
+PROBLEM = poor_broker()
+
+
+def test_bench_poor_broker_infeasible(benchmark):
+    sg = PROBLEM.sequencing_graph()
+    trace = benchmark(reduce_graph, sg)
+
+    assert not trace.feasible
+    # Exactly the two red edges at ∧B survive along with their siblings;
+    # neither can be removed because each pre-empts the other.
+    reds_remaining = [e for e in trace.remaining if e.is_red]
+    assert len(reds_remaining) == 2
+    assert {e.conjunction.agent.name for e in reds_remaining} == {"Broker"}
+
+    blocked = {b.edge.commitment.label for b in trace.blockages}
+    assert blocked == {"Trusted1->Broker", "Trusted2->Broker"}
+
+
+def test_bench_solvency_is_the_only_difference(benchmark):
+    """The same graph with one red edge fewer is Example #1 — feasible."""
+    solvent = example1()
+    verdict = benchmark(solvent.feasibility)
+    assert verdict.feasible
+    assert not PROBLEM.feasibility().feasible

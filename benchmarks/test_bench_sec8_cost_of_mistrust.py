@@ -1,0 +1,76 @@
+"""COST8 — §8: the cost of mistrust.
+
+Paper claims reproduced here:
+
+* two mutually trusting parties exchange with 2 messages; through an
+  intermediary, 4 — a constant 2× overhead;
+* a single universally trusted intermediary makes *any* exchange feasible,
+  without indemnities — including Figure 2, Figure 7, and the poor broker.
+"""
+
+from repro.analysis.cost import chain_cost_sweep, measured_cost, static_cost
+from repro.baselines.direct import (
+    direct_exchange,
+    direct_message_count,
+    mediated_message_count,
+)
+from repro.baselines.universal_intermediary import universal_exchange
+from repro.workloads import example1, example2, figure7, poor_broker, simple_purchase
+
+
+def test_bench_two_vs_four_messages(benchmark):
+    outcome = benchmark(direct_exchange)
+    assert outcome.completed and outcome.messages == direct_message_count() == 2
+    assert mediated_message_count() == 4
+    # Measured on the simulator: one mediated exchange = 4 transfers.
+    measured = measured_cost(simple_purchase())
+    assert measured.transfers == 4
+
+
+def test_bench_mistrust_overhead_is_constant_2x(benchmark):
+    rows = benchmark(chain_cost_sweep, 6)
+    assert [r.ratio for r in rows] == [2.0] * 7
+    # Messages grow linearly in exchanges under both regimes.
+    assert [r.direct for r in rows] == [2 * r.n_exchanges for r in rows]
+    assert [r.mediated_static for r in rows] == [4 * r.n_exchanges for r in rows]
+    assert [r.measured_total for r in rows] == [5 * r.n_exchanges for r in rows]
+
+
+def test_bench_universal_intermediary_feasibility(benchmark):
+    """§8: every decentrally infeasible example completes via one agent."""
+
+    def run_all():
+        return [
+            universal_exchange(factory())
+            for factory in (example2, figure7, poor_broker)
+        ]
+
+    outcomes = benchmark(run_all)
+    assert all(o.feasible for o in outcomes)
+    for outcome in outcomes:
+        assert outcome.messages == 2 * len(outcome.transfers) // 2  # 2·|E|
+
+
+def test_bench_universal_message_cost(benchmark):
+    problem = example2()
+    outcome = benchmark(universal_exchange, problem)
+    cost = static_cost(problem)
+    # Universal uses 2·|E| = 16 transfers and no notifies; decentralized
+    # needs the same 16 transfers plus notifies — and indemnity capital.
+    assert outcome.messages == 16
+    assert cost.mediated_with_notifies == 20
+    assert outcome.messages <= cost.mediated_with_notifies
+
+
+def test_bench_latency_cost_of_mistrust(benchmark):
+    """§8 extended to time: the decentralized protocol's critical path grows
+    linearly with chain depth while the universal intermediary stays at two
+    message delays and direct trust at one."""
+    from repro.analysis.latency import chain_latency_sweep
+
+    rows = benchmark(chain_latency_sweep, 5)
+    values = [r.decentralized for r in rows]
+    deltas = [b - a for a, b in zip(values, values[1:])]
+    assert len(set(deltas)) == 1 and deltas[0] > 0  # linear in depth
+    assert all(r.universal == 2.0 and r.direct == 1.0 for r in rows)
+    assert rows[-1].slowdown_vs_universal >= 10

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Adversarial safety matrix: synthesized protocol vs naive vs 2PC.
+
+For every single-party defection in Example #1, runs three protocols:
+
+* the sequencing-graph protocol on the simulator (§5) — honest parties are
+  always protected;
+* the naive direct exchange (§1) — the first mover is robbed;
+* two-phase commit (§7.1) — a committed cheat harms the performers.
+
+Run:  python examples/adversarial_safety.py
+"""
+
+from repro.baselines.direct import direct_exchange
+from repro.baselines.two_phase_commit import ParticipantBehavior, two_phase_commit
+from repro.sim import evaluate_safety, simulate, withholder
+from repro.workloads import example1
+
+DEADLINE = 60.0
+
+
+def protocol_matrix() -> None:
+    problem = example1()
+    print("synthesized protocol (trusted intermediaries + escrow):")
+    print(f"  {'defector':<12} {'honest parties safe':>20} {'exchanges done':>15}")
+    for cheat in ("Consumer", "Broker", "Producer"):
+        result = simulate(problem, adversaries={cheat: withholder(0)}, deadline=DEADLINE)
+        report = evaluate_safety(problem, result)
+        safe = report.honest_parties_safe(frozenset({cheat}))
+        print(f"  {cheat:<12} {str(safe):>20} {len(result.completed_agents):>15}")
+        assert safe
+
+
+def naive_matrix() -> None:
+    print("\nnaive direct exchange (no intermediary):")
+    cases = [
+        ("seller keeps money", dict(seller_honest=False, buyer_pays_first=True)),
+        ("buyer refuses to pay", dict(buyer_honest=False, buyer_pays_first=False)),
+    ]
+    for label, kwargs in cases:
+        outcome = direct_exchange(**kwargs)
+        victim = "buyer" if not outcome.buyer_ok else "seller"
+        print(f"  {label:<24} -> {victim} harmed "
+              f"(buyer_ok={outcome.buyer_ok}, seller_ok={outcome.seller_ok})")
+        assert not outcome.all_ok
+
+
+def tpc_matrix() -> None:
+    print("\ntwo-phase commit (votes are not escrow):")
+    problem = example1()
+    for cheat in ("Consumer", "Broker", "Producer"):
+        outcome = two_phase_commit(
+            problem, {cheat: ParticipantBehavior(performs=False)}
+        )
+        harmed = sorted(p.name for p in outcome.harmed)
+        print(f"  {cheat} votes COMMIT then reneges -> harmed: {harmed}")
+        assert harmed, "a post-commit cheat always harms someone under 2PC"
+
+
+def main() -> None:
+    protocol_matrix()
+    naive_matrix()
+    tpc_matrix()
+    print(
+        "\nConclusion: only the trust-explicit protocol leaves every honest\n"
+        "party in an acceptable state under every defection — the paper's\n"
+        "core guarantee, checked mechanically."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Computation subcontracting: the paper's second motivating domain (§1, §2.1).
+
+"A producer is a processor with idle resources; a consumer needs additional
+computation power; and a broker might be a network manager capable of
+matching them."  This example writes that market in the spec language, has
+the network manager resell compute hours from two datacenters to a research
+lab as an all-or-nothing batch, and exercises the whole pipeline — including
+what happens when one datacenter tries to ship a bogus result and when the
+manager needs indemnities to make the batch credible.
+
+Run:  python examples/computation_market.py
+"""
+
+from repro.core.indemnity import minimal_indemnity_plan, splittable_conjunctions
+from repro.sim import Simulation, evaluate_safety, simulate, wrong_item_sender
+from repro.spec import load
+from repro.viz import interaction_text
+
+# The lab buys one 100-GPU-hour batch via the network manager, who buys the
+# hours from a datacenter.  Escrow is handled by a compute exchange the lab
+# and manager both use, and a settlement service the manager shares with the
+# datacenter.  The manager resells: buyer committed before it spends.
+SINGLE_BATCH = """
+problem "compute-single-batch"
+
+principal consumer Lab
+principal broker   NetManager
+principal producer Datacenter
+trusted Exchange
+trusted Settlement
+
+exchange via Exchange {
+    Lab        pays $500.00 tag batch-retail
+    NetManager gives gpu-hours-100
+}
+exchange via Settlement {
+    NetManager pays $400.00 tag batch-wholesale
+    Datacenter gives gpu-hours-100
+}
+
+priority NetManager via Exchange
+"""
+
+# A two-site job: results from both datacenters or neither (intermediate
+# results of a distributed computation are useless alone — the compute
+# analogue of the paper's annotations-plus-documents bundle).
+TWO_SITE_JOB = """
+problem "compute-two-site-job"
+
+principal consumer Lab
+principal broker   ManagerEast
+principal broker   ManagerWest
+principal producer SiteEast
+principal producer SiteWest
+trusted ExchangeEast
+trusted SettleEast
+trusted ExchangeWest
+trusted SettleWest
+
+exchange via ExchangeEast {
+    Lab         pays $300.00 tag east-retail
+    ManagerEast gives shard-east
+}
+exchange via SettleEast {
+    ManagerEast pays $240.00 tag east-wholesale
+    SiteEast    gives shard-east
+}
+exchange via ExchangeWest {
+    Lab         pays $200.00 tag west-retail
+    ManagerWest gives shard-west
+}
+exchange via SettleWest {
+    ManagerWest pays $160.00 tag west-wholesale
+    SiteWest    gives shard-west
+}
+
+priority ManagerEast via ExchangeEast
+priority ManagerWest via ExchangeWest
+"""
+
+
+def single_batch() -> None:
+    print("=" * 72)
+    print("Single batch: lab <- network manager <- datacenter")
+    print("=" * 72)
+    problem = load(SINGLE_BATCH)
+    print("\n".join(interaction_text(problem.interaction)))
+    assert problem.feasibility().feasible
+    print("\nexecution sequence:")
+    for line in problem.execution_sequence().describe():
+        print(f"  {line}")
+
+    # The datacenter ships garbage instead of the promised result: the
+    # settlement service bounces it and nobody honest loses anything.
+    result = simulate(
+        problem,
+        adversaries={"Datacenter": wrong_item_sender("gpu-hours-100", "garbage")},
+        deadline=60.0,
+    )
+    report = evaluate_safety(problem, result)
+    print("\nwith a cheating datacenter (bogus results):")
+    for line in report.describe():
+        print(f"  {line}")
+    assert report.honest_parties_safe(frozenset({"Datacenter"}))
+
+
+def two_site_job() -> None:
+    print("\n" + "=" * 72)
+    print("Two-site job: all-or-nothing shards from two managers")
+    print("=" * 72)
+    problem = load(TWO_SITE_JOB)
+    verdict = problem.feasibility()
+    print(f"feasible as specified: {verdict.feasible}")
+    for blockage in verdict.blockages:
+        print(f"  impasse: {blockage}")
+
+    # Same standoff as the paper's Figure 2 — fixed by indemnities (§6).
+    (bundle_owner,) = splittable_conjunctions(problem)
+    plan = minimal_indemnity_plan(problem, bundle_owner)
+    print("\nminimal indemnity plan:")
+    for line in plan.describe():
+        print(f"  {line}")
+
+    sim = Simulation.from_plan(problem, plan, deadline=120.0)
+    result = sim.run()
+    report = evaluate_safety(problem, result)
+    lab = next(p for p in problem.interaction.parties if p.name == "Lab")
+    print(f"\ncompleted exchanges: {len(result.completed_agents)}/4")
+    print(f"lab received: {sorted(result.final.documents_of(lab))}")
+    assert report.honest_parties_safe()
+    print("all parties protected.")
+
+
+def main() -> None:
+    single_batch()
+    two_site_job()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's Example #1 end to end in a dozen lines each.
+
+Builds the consumer–broker–producer exchange of Figure 1, checks it is
+feasible (Figures 3/5), recovers the §5 ten-step execution sequence, and
+runs it in the simulator to watch every party end up whole.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.sim import evaluate_safety, simulate
+from repro.workloads import example1
+
+
+def main() -> None:
+    # 1. Specify the exchange problem (Figure 1).  example1() builds it via
+    #    the library API; see examples/spec_language_tour.py for the text
+    #    syntax.
+    problem = example1()
+    print(f"problem: {problem.name}")
+    print(f"  principals: {[p.name for p in problem.interaction.principals]}")
+    print(f"  trusted:    {[t.name for t in problem.interaction.trusted_components]}")
+
+    # 2. Mechanically derive the sequencing graph (Figure 3) and reduce it
+    #    with Rules #1/#2 (§4.2).  Example #1 is feasible: all edges go.
+    verdict = problem.feasibility()
+    print(f"\nfeasible: {verdict.feasible}")
+    print(verdict.explain())
+
+    # 3. Recover the total order of transfers (§5).
+    print("\nexecution sequence:")
+    for line in problem.execution_sequence().describe():
+        print(f"  {line}")
+
+    # 4. Execute it on the discrete-event simulator and check safety: every
+    #    party must end in one of its §2.3 acceptable states.
+    result = simulate(problem)
+    report = evaluate_safety(problem, result)
+    print(f"\nsimulated in {result.duration:.0f} time units, "
+          f"{result.stats.messages_delivered} messages")
+    for line in report.describe():
+        print(line)
+    assert report.honest_parties_safe()
+    print("\nall parties protected — the paper's §5 guarantee holds.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Shim for offline editable installs (`python setup.py develop`).
+
+The canonical metadata lives in pyproject.toml; this file exists because the
+environment has no `wheel` package, which PEP 660 editable installs require.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""repro — a reproduction of Ketchpel & Garcia-Molina (ICDCS 1996),
+*Making Trust Explicit in Distributed Commerce Transactions*.
+
+The package implements the paper's full pipeline and the substrates needed to
+exercise it:
+
+* :mod:`repro.core` — the formal model: parties, actions, states, interaction
+  graphs, sequencing graphs, the reduction rules and feasibility test,
+  execution-sequence recovery, indemnities, and protocol synthesis.
+* :mod:`repro.spec` — a concrete text language for exchange problems.
+* :mod:`repro.sim` — a deterministic discrete-event simulator that runs the
+  synthesized protocols, with adversaries and a safety monitor.
+* :mod:`repro.baselines` — comparator protocols: naive direct swaps,
+  two-phase commit, a universal trusted intermediary, and sagas.
+* :mod:`repro.petri` — the §7.4 Petri-net translation with saturation and
+  guided coverability checking.
+* :mod:`repro.distributed` — the §9 distributed reduction (local decisions,
+  removal notifications).
+* :mod:`repro.workloads` — the paper's worked examples plus parametric and
+  random generators.
+* :mod:`repro.analysis` — the §8 cost-of-mistrust model and sweep studies.
+* :mod:`repro.viz` — DOT/ASCII renderings of interaction and sequencing
+  graphs (Figures 1–6).
+
+Quickstart::
+
+    from repro.workloads import example1
+    problem = example1()
+    verdict = problem.feasibility()
+    assert verdict.feasible
+    for line in problem.execution_sequence().describe():
+        print(line)
+"""
+
+from repro.core import (
+    ExchangeProblem,
+    FeasibilityVerdict,
+    InteractionGraph,
+    SequencingGraph,
+    TrustRelation,
+    check_feasibility,
+    recover_execution,
+    reduce_graph,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExchangeProblem",
+    "FeasibilityVerdict",
+    "InteractionGraph",
+    "SequencingGraph",
+    "TrustRelation",
+    "check_feasibility",
+    "recover_execution",
+    "reduce_graph",
+    "__version__",
+]

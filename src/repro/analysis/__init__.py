@@ -1,0 +1,62 @@
+"""Analyses over the formal machinery: the §8 cost model, feasibility
+sweeps over random topologies, and §6 indemnity-capital studies."""
+
+from repro.analysis.cost import (
+    ChainCostRow,
+    MeasuredCost,
+    MessageCost,
+    chain_cost_sweep,
+    format_chain_table,
+    measured_cost,
+    static_cost,
+)
+from repro.analysis.feasibility_study import (
+    IncompletenessRow,
+    PrioritySweepRow,
+    TrustSweepRow,
+    incompleteness_gap,
+    priority_sweep,
+    trust_sweep,
+)
+from repro.analysis.latency import (
+    LatencyRow,
+    chain_latency_sweep,
+    direct_latency,
+    format_latency_table,
+    measured_latency,
+    universal_latency,
+)
+from repro.analysis.indemnity_study import (
+    BundleScalingRow,
+    OrderingCost,
+    bundle_scaling,
+    figure7_table,
+    ordering_costs,
+)
+
+__all__ = [
+    "ChainCostRow",
+    "MeasuredCost",
+    "MessageCost",
+    "chain_cost_sweep",
+    "format_chain_table",
+    "measured_cost",
+    "static_cost",
+    "IncompletenessRow",
+    "incompleteness_gap",
+    "PrioritySweepRow",
+    "TrustSweepRow",
+    "priority_sweep",
+    "trust_sweep",
+    "LatencyRow",
+    "chain_latency_sweep",
+    "direct_latency",
+    "format_latency_table",
+    "measured_latency",
+    "universal_latency",
+    "BundleScalingRow",
+    "OrderingCost",
+    "bundle_scaling",
+    "figure7_table",
+    "ordering_costs",
+]

@@ -1,0 +1,126 @@
+"""The cost of mistrust (§8): message-count accounting.
+
+Static model, straight from the paper:
+
+* two mutually trusting parties exchange with **2** messages;
+* a mediated exchange needs **4** transfer messages (two in, two out), plus
+  the §5 machinery's notifies (at most one per intermediary);
+* the universal intermediary does the whole transaction in ``2·|E|``.
+
+:func:`measured_cost` cross-checks the static model against the simulator's
+delivery counters, and :func:`chain_cost_sweep` produces the §8 comparison
+series over resale chains of increasing depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.direct import direct_message_count, mediated_message_count
+from repro.baselines.universal_intermediary import universal_message_count
+from repro.core.problem import ExchangeProblem
+from repro.sim.runtime import simulate
+from repro.workloads.chains import resale_chain
+
+
+@dataclass(frozen=True)
+class MessageCost:
+    """Message counts for one exchange problem under three regimes."""
+
+    problem_name: str
+    n_exchanges: int
+    direct: int  # all parties mutually trusting: 2 per exchange
+    mediated_static: int  # 4 transfers per exchange (§8)
+    mediated_with_notifies: int  # + up to 1 notify per intermediary
+    universal: int  # one global agent: 2·|E|
+
+    @property
+    def mistrust_ratio(self) -> float:
+        """§8's headline: mediated vs direct message overhead."""
+        return self.mediated_static / self.direct
+
+
+def static_cost(problem: ExchangeProblem) -> MessageCost:
+    """Apply the §8 static model to a problem's interaction graph."""
+    n = len(problem.interaction.trusted_components)
+    return MessageCost(
+        problem_name=problem.name,
+        n_exchanges=n,
+        direct=direct_message_count() * n,
+        mediated_static=mediated_message_count() * n,
+        mediated_with_notifies=mediated_message_count(include_notifies=True) * n,
+        universal=universal_message_count(problem),
+    )
+
+
+@dataclass(frozen=True)
+class MeasuredCost:
+    """Simulator-measured message counts for a feasible problem."""
+
+    problem_name: str
+    transfers: int
+    notifies: int
+
+    @property
+    def total(self) -> int:
+        return self.transfers + self.notifies
+
+
+def measured_cost(problem: ExchangeProblem) -> MeasuredCost:
+    """Run the synthesized protocol honestly and count deliveries."""
+    result = simulate(problem)
+    return MeasuredCost(
+        problem_name=problem.name,
+        transfers=result.stats.transfers,
+        notifies=result.stats.notifies,
+    )
+
+
+@dataclass(frozen=True)
+class ChainCostRow:
+    """One row of the §8 chain sweep."""
+
+    n_brokers: int
+    n_exchanges: int
+    direct: int
+    mediated_static: int
+    measured_total: int
+    ratio: float
+
+
+def chain_cost_sweep(max_brokers: int = 6, retail: float = 100.0) -> list[ChainCostRow]:
+    """Message cost vs chain depth: the mistrust overhead is a constant 2×.
+
+    Measured totals exceed the static 4-per-exchange by the notifies the
+    protocol issues (one per intermediary in a chain).
+    """
+    rows: list[ChainCostRow] = []
+    for n in range(0, max_brokers + 1):
+        problem = resale_chain(n, retail=retail)
+        cost = static_cost(problem)
+        measured = measured_cost(problem)
+        rows.append(
+            ChainCostRow(
+                n_brokers=n,
+                n_exchanges=cost.n_exchanges,
+                direct=cost.direct,
+                mediated_static=cost.mediated_static,
+                measured_total=measured.total,
+                ratio=cost.mistrust_ratio,
+            )
+        )
+    return rows
+
+
+def format_chain_table(rows: list[ChainCostRow]) -> list[str]:
+    """Render the sweep as aligned text rows (used by benches and the CLI)."""
+    lines = [
+        f"{'brokers':>7} {'exchanges':>9} {'direct':>7} {'mediated':>9} "
+        f"{'measured':>9} {'ratio':>6}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.n_brokers:>7} {row.n_exchanges:>9} {row.direct:>7} "
+            f"{row.mediated_static:>9} {row.measured_total:>9} {row.ratio:>6.1f}"
+        )
+    return lines

@@ -1,0 +1,187 @@
+"""Feasibility under varying trust pressure — a sweep the paper motivates.
+
+The paper argues that more priority ("commit first") demands and less direct
+trust make fewer exchanges feasible.  This study quantifies both effects on
+random topologies:
+
+* :func:`priority_sweep` — the feasible fraction as the probability of a
+  seller demanding a committed buyer rises from 0 to 1;
+* :func:`trust_sweep` — how adding random direct-trust edges to *infeasible*
+  instances unlocks them (§4.2.3 at population scale).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.problem import ExchangeProblem
+from repro.workloads.random_graphs import RandomProblemConfig, random_problem
+
+
+@dataclass(frozen=True)
+class PrioritySweepRow:
+    """One point of the priority-density sweep."""
+
+    priority_probability: float
+    samples: int
+    feasible: int
+
+    @property
+    def feasible_fraction(self) -> float:
+        return self.feasible / self.samples
+
+
+def priority_sweep(
+    probabilities: list[float] | None = None,
+    samples: int = 40,
+    n_principals: int = 8,
+    n_exchanges: int = 6,
+    seed: int = 0,
+) -> list[PrioritySweepRow]:
+    """Feasible fraction vs priority density over random problems."""
+    probabilities = probabilities if probabilities is not None else [
+        0.0,
+        0.25,
+        0.5,
+        0.75,
+        1.0,
+    ]
+    rows: list[PrioritySweepRow] = []
+    for probability in probabilities:
+        feasible = 0
+        for index in range(samples):
+            config = RandomProblemConfig(
+                n_principals=n_principals,
+                n_exchanges=n_exchanges,
+                priority_probability=probability,
+            )
+            problem = random_problem(config, seed=seed * 10_000 + index)
+            if problem.feasibility().feasible:
+                feasible += 1
+        rows.append(PrioritySweepRow(probability, samples, feasible))
+    return rows
+
+
+@dataclass(frozen=True)
+class IncompletenessRow:
+    """How conservative is the §4.2.4 test, measured against the liberal
+    notify-guarded execution semantics (the Petri translation, §7.4)?
+
+    The paper concedes the test's one-sidedness: "If the reduced graph does
+    not pass the feasibility test, then no determination can be made by this
+    process."  This study quantifies the region: random instances where the
+    Petri semantics exhibits a constraint-honoring completion but the
+    reduction cannot certify one.
+    """
+
+    samples: int
+    reduction_feasible: int
+    petri_coverable: int
+    unsound: int  # reduction-feasible but not coverable (must be 0)
+
+    @property
+    def gap(self) -> int:
+        """Instances certified by the Petri semantics only."""
+        return self.petri_coverable - self.reduction_feasible
+
+    @property
+    def gap_fraction(self) -> float:
+        return self.gap / self.samples if self.samples else 0.0
+
+
+def incompleteness_gap(
+    samples: int = 120,
+    n_principals: int = 9,
+    n_exchanges: int = 4,
+    priority_probability: float = 0.7,
+    seed: int = 0,
+) -> IncompletenessRow:
+    """Measure the reduction test's conservatism on random topologies."""
+    from repro.petri.translate import exchange_completable
+
+    reduction_feasible = 0
+    petri_coverable = 0
+    unsound = 0
+    for index in range(samples):
+        config = RandomProblemConfig(
+            n_principals=n_principals,
+            n_exchanges=n_exchanges,
+            priority_probability=priority_probability,
+        )
+        problem = random_problem(config, seed=seed * 10_000 + index)
+        feasible = problem.feasibility().feasible
+        coverable = exchange_completable(problem).coverable
+        reduction_feasible += feasible
+        petri_coverable += coverable
+        if feasible and not coverable:
+            unsound += 1
+    return IncompletenessRow(
+        samples=samples,
+        reduction_feasible=reduction_feasible,
+        petri_coverable=petri_coverable,
+        unsound=unsound,
+    )
+
+
+@dataclass(frozen=True)
+class TrustSweepRow:
+    """One point of the direct-trust sweep over infeasible instances."""
+
+    trust_edges_added: int
+    samples: int
+    unlocked: int
+
+    @property
+    def unlocked_fraction(self) -> float:
+        return self.unlocked / self.samples if self.samples else 0.0
+
+
+def _random_trust_variant(
+    problem: ExchangeProblem, n_edges: int, rng: random.Random
+) -> ExchangeProblem:
+    variant = problem.copy()
+    principals = list(variant.interaction.principals)
+    for _ in range(n_edges):
+        truster, trustee = rng.sample(principals, 2)
+        variant.trust.add(truster, trustee)
+    return variant
+
+
+def trust_sweep(
+    edge_counts: list[int] | None = None,
+    samples: int = 40,
+    n_principals: int = 8,
+    n_exchanges: int = 6,
+    priority_probability: float = 0.8,
+    seed: int = 0,
+) -> list[TrustSweepRow]:
+    """How many infeasible instances does random direct trust unlock?
+
+    For each infeasible random base instance, add *k* random trust edges and
+    re-test.  Monotone in *k* in expectation: trust only removes blockers.
+    """
+    edge_counts = edge_counts if edge_counts is not None else [0, 1, 2, 4, 8]
+    config = RandomProblemConfig(
+        n_principals=n_principals,
+        n_exchanges=n_exchanges,
+        priority_probability=priority_probability,
+    )
+    bases: list[ExchangeProblem] = []
+    index = 0
+    while len(bases) < samples and index < samples * 50:
+        problem = random_problem(config, seed=seed * 10_000 + index)
+        index += 1
+        if not problem.feasibility().feasible:
+            bases.append(problem)
+
+    rows: list[TrustSweepRow] = []
+    for count in edge_counts:
+        unlocked = 0
+        for base_index, base in enumerate(bases):
+            rng = random.Random((seed, count, base_index).__hash__())
+            variant = _random_trust_variant(base, count, rng)
+            if variant.feasibility().feasible:
+                unlocked += 1
+        rows.append(TrustSweepRow(count, len(bases), unlocked))
+    return rows

@@ -1,0 +1,106 @@
+"""Indemnity-capital studies (§6 / Figure 7, generalized).
+
+Figure 7 shows the ordering effect for one 3-document bundle; these sweeps
+generalize it: how the total escrow scales with bundle size, how far the
+worst ordering overshoots the greedy optimum, and the full per-permutation
+cost table for small bundles (the raw data behind the figure).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.indemnity import (
+    commitment_cost,
+    greedy_order,
+    minimal_indemnity_plan,
+    plan_indemnities,
+)
+from repro.core.parties import consumer
+from repro.workloads.bundles import broker_bundle
+
+CONSUMER = consumer("Consumer")
+
+
+@dataclass(frozen=True)
+class OrderingCost:
+    """Escrow total for one indemnification order."""
+
+    order: tuple[str, ...]  # trusted-intermediary names, in offer order
+    total_cents: int
+    offers: int
+
+
+def ordering_costs(prices: Sequence[float]) -> list[OrderingCost]:
+    """Escrow totals for every indemnification order of a bundle.
+
+    For Figure 7's prices this contains both of the paper's orderings —
+    $90 (B1 first) and $70 (B3 first) — among the six permutations.
+    """
+    problem = broker_bundle(len(prices), tuple(prices))
+    members = [e for e in problem.interaction.edges if e.principal == CONSUMER]
+    rows: list[OrderingCost] = []
+    for permutation in itertools.permutations(members):
+        plan = plan_indemnities(problem, list(permutation))
+        rows.append(
+            OrderingCost(
+                order=tuple(e.trusted.name for e in permutation),
+                total_cents=plan.total_cents,
+                offers=len(plan.offers),
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class BundleScalingRow:
+    """Escrow requirements for a k-document bundle."""
+
+    k: int
+    total_price_cents: int
+    greedy_cents: int
+    worst_cents: int
+
+    @property
+    def overshoot(self) -> float:
+        """Worst ordering relative to the greedy optimum."""
+        return self.worst_cents / self.greedy_cents if self.greedy_cents else 1.0
+
+
+def bundle_scaling(max_k: int = 5, base_price: float = 10.0) -> list[BundleScalingRow]:
+    """Greedy vs worst-order escrow as bundle size grows.
+
+    Prices are ``base_price · (1..k)``.  Greedy = (k−2)·S + c_min; worst =
+    ascending-cost order = (k−2)·S + c_max (the most expensive piece left
+    uncovered last is never optimal).
+    """
+    rows: list[BundleScalingRow] = []
+    for k in range(2, max_k + 1):
+        prices = tuple(base_price * (i + 1) for i in range(k))
+        problem = broker_bundle(k, prices)
+        greedy = minimal_indemnity_plan(problem)
+        members = greedy_order(problem, CONSUMER)
+        ascending = list(reversed(members))  # cheapest first = worst
+        worst = plan_indemnities(problem, ascending)
+        rows.append(
+            BundleScalingRow(
+                k=k,
+                total_price_cents=sum(commitment_cost(e) for e in members),
+                greedy_cents=greedy.total_cents,
+                worst_cents=worst.total_cents,
+            )
+        )
+    return rows
+
+
+def figure7_table() -> list[str]:
+    """The Figure 7 narrative as text rows (used by the bench and CLI)."""
+    rows = ordering_costs((10.0, 20.0, 30.0))
+    by_total = sorted(rows, key=lambda r: (r.total_cents, r.order))
+    lines = [f"{'order (first two indemnifiers)':<34} {'total':>8} {'offers':>6}"]
+    for row in by_total:
+        label = " -> ".join(row.order[: row.offers])
+        lines.append(f"{label:<34} ${row.total_cents / 100:>6.2f} {row.offers:>6}")
+    return lines

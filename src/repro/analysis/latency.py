@@ -1,0 +1,81 @@
+"""Latency: the other cost of mistrust (§8, extended).
+
+The paper counts messages; mistrust also costs *time*.  A direct swap
+between trusting parties finishes in one message delay (both send at once);
+a universally trusted intermediary needs two (deposits in parallel, then
+releases); the decentralized protocol serializes along the commitment
+cascade — a resale chain of *n* brokers takes Θ(n) delays because each hop's
+notify gates the next purchase.
+
+Latency here is measured, not modeled: the discrete-event simulator's
+quiescence time under unit message delay *is* the critical path of the
+synthesized protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.problem import ExchangeProblem
+from repro.sim.runtime import simulate
+from repro.workloads.chains import resale_chain
+
+
+def direct_latency() -> float:
+    """Mutually trusting parties swap simultaneously: one delay."""
+    return 1.0
+
+
+def universal_latency() -> float:
+    """Deposits in parallel, then releases in parallel: two delays."""
+    return 2.0
+
+
+def measured_latency(problem: ExchangeProblem, latency: float = 1.0) -> float:
+    """Critical path of the synthesized protocol (simulator quiescence)."""
+    return simulate(problem, latency=latency).duration
+
+
+@dataclass(frozen=True)
+class LatencyRow:
+    """One row of the chain-latency sweep."""
+
+    n_brokers: int
+    decentralized: float
+    universal: float
+    direct: float
+
+    @property
+    def slowdown_vs_universal(self) -> float:
+        return self.decentralized / self.universal
+
+
+def chain_latency_sweep(max_brokers: int = 6, retail: float = 100.0) -> list[LatencyRow]:
+    """Decentralized critical path vs the two baselines over chain depth.
+
+    The decentralized latency grows linearly: the consumer's money must
+    cascade into assurances hop by hop before documents flow back.
+    """
+    rows: list[LatencyRow] = []
+    for n in range(0, max_brokers + 1):
+        problem = resale_chain(n, retail=retail)
+        rows.append(
+            LatencyRow(
+                n_brokers=n,
+                decentralized=measured_latency(problem),
+                universal=universal_latency(),
+                direct=direct_latency(),
+            )
+        )
+    return rows
+
+
+def format_latency_table(rows: list[LatencyRow]) -> list[str]:
+    """Aligned text rows for benches and the CLI."""
+    lines = [f"{'brokers':>7} {'decentralized':>14} {'universal':>10} {'direct':>7}"]
+    for row in rows:
+        lines.append(
+            f"{row.n_brokers:>7} {row.decentralized:>14.1f} "
+            f"{row.universal:>10.1f} {row.direct:>7.1f}"
+        )
+    return lines

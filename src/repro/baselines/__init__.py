@@ -1,0 +1,65 @@
+"""Comparator protocols from §7 and §8.
+
+* :mod:`repro.baselines.direct` — naive two-message exchange; safe only
+  under mutual trust.
+* :mod:`repro.baselines.two_phase_commit` — textbook 2PC; agreement without
+  protection (a committed cheat still harms performers).
+* :mod:`repro.baselines.universal_intermediary` — §8's globally trusted
+  agent; everything feasible, no indemnities.
+* :mod:`repro.baselines.saga` — §7.2 sagas with compensation, and the
+  acceptability bridge to the §2.3 state formalism.
+"""
+
+from repro.baselines.direct import (
+    DirectOutcome,
+    direct_exchange,
+    direct_message_count,
+    mediated_message_count,
+    mistrust_overhead,
+)
+from repro.baselines.saga import (
+    Saga,
+    SagaResult,
+    SagaStep,
+    acceptable_to_all,
+    check_saga_acceptability,
+    saga_of_sequence,
+)
+from repro.baselines.two_phase_commit import (
+    ParticipantBehavior,
+    TwoPhaseOutcome,
+    Vote,
+    message_count,
+    two_phase_commit,
+)
+from repro.baselines.universal_intermediary import (
+    UNIVERSAL,
+    UniversalOutcome,
+    rewrite_to_universal,
+    universal_exchange,
+    universal_message_count,
+)
+
+__all__ = [
+    "DirectOutcome",
+    "direct_exchange",
+    "direct_message_count",
+    "mediated_message_count",
+    "mistrust_overhead",
+    "Saga",
+    "SagaResult",
+    "SagaStep",
+    "acceptable_to_all",
+    "check_saga_acceptability",
+    "saga_of_sequence",
+    "ParticipantBehavior",
+    "TwoPhaseOutcome",
+    "Vote",
+    "message_count",
+    "two_phase_commit",
+    "UNIVERSAL",
+    "UniversalOutcome",
+    "rewrite_to_universal",
+    "universal_exchange",
+    "universal_message_count",
+]

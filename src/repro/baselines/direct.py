@@ -1,0 +1,116 @@
+"""Naive direct exchange: the no-intermediary baseline (§1, §8).
+
+Two mutually trusting parties "can perform an exchange with two messages —
+each sending what the other wants" (§8).  Without trust, someone must move
+first, and the §1 opening problem appears: "If the customer first sends the
+funds, the publisher might keep them and not provide the document; if the
+publisher gives the document first, the customer might refuse to pay later."
+
+:func:`direct_exchange` plays this out deterministically for all four
+honesty combinations and both move orders, producing the outcomes the safety
+benchmark contrasts with the trusted-intermediary protocol: the naive scheme
+harms whichever honest party moved first against a cheat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class DirectOutcome:
+    """The result of one naive pairwise exchange.
+
+    Money is in cents; ``buyer_has_good`` tracks the document.  ``buyer_ok``
+    / ``seller_ok`` apply the §2.3 acceptability structure: a party is OK if
+    it lost nothing, or received the counterpart value for what it gave.
+    """
+
+    messages: int
+    buyer_paid: bool
+    seller_delivered: bool
+    buyer_has_good: bool
+    seller_has_money: bool
+
+    @property
+    def buyer_ok(self) -> bool:
+        if self.buyer_paid and not self.buyer_has_good:
+            return False
+        return True
+
+    @property
+    def seller_ok(self) -> bool:
+        if self.seller_delivered and not self.seller_has_money:
+            return False
+        return True
+
+    @property
+    def completed(self) -> bool:
+        return self.buyer_has_good and self.seller_has_money
+
+    @property
+    def all_ok(self) -> bool:
+        return self.buyer_ok and self.seller_ok
+
+
+def direct_exchange(
+    buyer_honest: bool = True,
+    seller_honest: bool = True,
+    buyer_pays_first: bool = True,
+) -> DirectOutcome:
+    """Play the naive two-message protocol.
+
+    The first mover always performs (that is what "first" means here); the
+    second mover performs only if honest.  A dishonest party that has
+    already received what it wanted simply stops.
+    """
+    messages = 0
+    buyer_paid = False
+    seller_delivered = False
+
+    if buyer_pays_first:
+        buyer_paid = True
+        messages += 1
+        if seller_honest:
+            seller_delivered = True
+            messages += 1
+    else:
+        seller_delivered = True
+        messages += 1
+        if buyer_honest:
+            buyer_paid = True
+            messages += 1
+
+    return DirectOutcome(
+        messages=messages,
+        buyer_paid=buyer_paid,
+        seller_delivered=seller_delivered,
+        buyer_has_good=seller_delivered,
+        seller_has_money=buyer_paid,
+    )
+
+
+def direct_message_count() -> int:
+    """§8: messages for one exchange between mutually trusting parties."""
+    return 2
+
+
+def mediated_message_count(include_notifies: bool = False) -> int:
+    """§8: messages for one exchange through a trusted intermediary.
+
+    "Four messages are required — two to the trusted intermediary, and two
+    from the trusted intermediary."  The §5 machinery additionally issues up
+    to one notify per exchange; pass ``include_notifies=True`` to count it.
+    """
+    return 5 if include_notifies else 4
+
+
+def mistrust_overhead(n_exchanges: int, include_notifies: bool = False) -> float:
+    """Message-cost ratio mediated/direct for *n_exchanges* exchanges (§8)."""
+    if n_exchanges < 1:
+        raise ModelError("need at least one exchange")
+    mediated = mediated_message_count(include_notifies) * n_exchanges
+    direct = direct_message_count() * n_exchanges
+    return mediated / direct

@@ -1,0 +1,120 @@
+"""Sagas (§7.2): sequences of actions with compensations.
+
+"A saga is a sequence of actions that result in an acceptable final system
+state when they are executed.  Essentially, what we propose here is for each
+agent to have its own set of acceptable sagas."  This module provides a
+small saga runner — forward steps with compensating actions, reverse-order
+compensation on failure — and the bridge the paper describes: checking a
+recovered execution sequence against per-party acceptability.
+
+The limitation the paper implies is also demonstrable here: a compensation
+is just another action some party must *choose* to perform.  When the
+compensator is the trusted intermediary (our protocols), compensation is
+credible; when it is the counterparty itself (a naive saga between two
+distrusting principals), a cheat simply skips it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.actions import Action
+from repro.core.states import AcceptanceSpec, ExchangeState
+from repro.errors import ProtocolError
+
+
+@dataclass(frozen=True)
+class SagaStep:
+    """One forward action and its compensation (None = not compensatable)."""
+
+    action: Action
+    compensation: Action | None = None
+
+    @classmethod
+    def transfer(cls, action: Action) -> "SagaStep":
+        """A transfer step compensated by its §2.2 inverse."""
+        return cls(action=action, compensation=action.inverse())
+
+
+@dataclass
+class SagaResult:
+    """What happened when a saga ran."""
+
+    executed: list[Action] = field(default_factory=list)
+    compensated: list[Action] = field(default_factory=list)
+    failed_at: int | None = None
+    compensations_skipped: list[Action] = field(default_factory=list)
+
+    @property
+    def committed(self) -> bool:
+        return self.failed_at is None
+
+    def final_state(self) -> ExchangeState:
+        return ExchangeState.of(self.executed + self.compensated)
+
+
+class Saga:
+    """A forward sequence with reverse-order compensation on failure."""
+
+    def __init__(self, steps: list[SagaStep]) -> None:
+        self.steps = steps
+
+    def run(
+        self,
+        fails_at: int | None = None,
+        compensation_honored: Callable[[Action], bool] | None = None,
+    ) -> SagaResult:
+        """Execute forward; on failure at index *fails_at*, compensate back.
+
+        *compensation_honored* models distrust: given a compensation action,
+        return False when the party responsible for it refuses (the
+        compensation is then recorded as skipped and the state stays dirty).
+        """
+        honored = compensation_honored or (lambda action: True)
+        result = SagaResult()
+        for index, step in enumerate(self.steps):
+            if fails_at is not None and index == fails_at:
+                result.failed_at = index
+                break
+            result.executed.append(step.action)
+        if result.failed_at is None:
+            return result
+        for step in reversed(self.steps[: result.failed_at]):
+            if step.compensation is None:
+                result.compensations_skipped.append(step.action)
+                continue
+            if honored(step.compensation):
+                result.compensated.append(step.compensation)
+            else:
+                result.compensations_skipped.append(step.compensation)
+        return result
+
+
+def saga_of_sequence(actions: list[Action]) -> Saga:
+    """Build a saga whose steps are an execution sequence's transfers."""
+    steps = [SagaStep.transfer(a) for a in actions if a.is_transfer]
+    if not steps:
+        raise ProtocolError("an empty action sequence yields no saga")
+    return Saga(steps)
+
+
+def acceptable_to_all(
+    state: ExchangeState, specs: dict, parties: list | None = None
+) -> bool:
+    """Whether *state* is acceptable to every party in *specs* (§2.3)."""
+    targets = parties if parties is not None else list(specs)
+    return all(specs[party].accepts(state) for party in targets)
+
+
+def check_saga_acceptability(
+    saga: Saga,
+    specs: dict,
+    fails_at: int | None = None,
+    compensation_honored: Callable[[Action], bool] | None = None,
+) -> tuple[SagaResult, dict]:
+    """Run a saga and report per-party acceptability of the final state."""
+    result = saga.run(fails_at=fails_at, compensation_honored=compensation_honored)
+    state = result.final_state()
+    verdicts = {party: spec.accepts(state) for party, spec in specs.items()}
+    return result, verdicts

@@ -1,0 +1,121 @@
+"""Two-phase commit over mutually distrusting principals (§7.1).
+
+The paper's point: 2PC solves a *different* problem.  It assumes every node
+runs the agreed protocol ("a single designer has control over the programs
+that each process is running") and that all share one consistency goal.  In
+a commerce exchange each principal has its own acceptable outcomes, and a
+participant that votes COMMIT and then keeps the goods faces no mechanism
+that protects the others.
+
+This module implements textbook 2PC with a coordinator and voting
+participants, then lets participants *defect after voting commit*: the vote
+costs a cheat nothing, the transfers are not escrowed, and honest parties
+that performed their transfers lose them.  Contrast with the sequencing-graph
+protocol, where the same defection leaves every honest party whole (see the
+SAFE benchmark).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.parties import Party
+from repro.core.problem import ExchangeProblem
+
+
+class Vote(enum.Enum):
+    COMMIT = "commit"
+    ABORT = "abort"
+
+
+@dataclass(frozen=True)
+class ParticipantBehavior:
+    """How one principal behaves under 2PC.
+
+    ``vote`` — its phase-1 answer; ``performs`` — whether it actually
+    executes its transfers after a global COMMIT (a Byzantine participant
+    votes COMMIT and then reneges).
+    """
+
+    vote: Vote = Vote.COMMIT
+    performs: bool = True
+
+
+@dataclass(frozen=True)
+class TwoPhaseOutcome:
+    """Result of one 2PC round over an exchange problem."""
+
+    problem_name: str
+    decision: Vote
+    messages: int
+    performed: frozenset[Party]
+    harmed: frozenset[Party]
+
+    @property
+    def all_safe(self) -> bool:
+        return not self.harmed
+
+
+def two_phase_commit(
+    problem: ExchangeProblem,
+    behaviors: dict[str, ParticipantBehavior] | None = None,
+) -> TwoPhaseOutcome:
+    """Run 2PC over the principals of *problem*.
+
+    Message count is the textbook ``4·n`` (prepare, vote, decision, ack) for
+    *n* participants.  On COMMIT, each principal with ``performs=True``
+    executes its deposits directly to its counterparts; a principal is
+    *harmed* when it performed but some counterpart on one of its exchanges
+    did not.
+    """
+    behaviors = behaviors or {}
+    principals = list(problem.interaction.principals)
+    n = len(principals)
+    messages = 4 * n
+
+    votes = {
+        p: behaviors.get(p.name, ParticipantBehavior()).vote for p in principals
+    }
+    decision = (
+        Vote.COMMIT if all(v is Vote.COMMIT for v in votes.values()) else Vote.ABORT
+    )
+    if decision is Vote.ABORT:
+        return TwoPhaseOutcome(
+            problem_name=problem.name,
+            decision=decision,
+            messages=messages,
+            performed=frozenset(),
+            harmed=frozenset(),
+        )
+
+    performed = frozenset(
+        p
+        for p in principals
+        if behaviors.get(p.name, ParticipantBehavior()).performs
+    )
+    # Direct transfers (no escrow): each performing principal sends its item
+    # one message per interaction edge it owns.
+    messages += sum(
+        1 for e in problem.interaction.edges if e.principal in performed
+    )
+
+    harmed = set()
+    for edge in problem.interaction.edges:
+        if edge.principal not in performed:
+            continue
+        counterparts = problem.interaction.counterparts(edge)
+        if any(c.principal not in performed for c in counterparts):
+            harmed.add(edge.principal)
+    return TwoPhaseOutcome(
+        problem_name=problem.name,
+        decision=decision,
+        messages=messages,
+        performed=performed,
+        harmed=frozenset(harmed),
+    )
+
+
+def message_count(n_participants: int) -> int:
+    """Control messages for one 2PC round: prepare + vote + decision + ack."""
+    return 4 * n_participants

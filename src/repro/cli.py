@@ -1,0 +1,337 @@
+"""Command-line interface: ``repro-trust`` (also ``python -m repro.cli``).
+
+Subcommands cover the full pipeline on a spec file or a built-in example:
+
+* ``check``      — build the sequencing graph, reduce, report feasibility;
+* ``sequence``   — print the §5 execution listing;
+* ``protocol``   — print the synthesized per-party roles;
+* ``indemnify``  — compute the minimal §6 escrow plan;
+* ``simulate``   — run the protocol (optionally with adversaries) and print
+  the safety report;
+* ``render``     — DOT or text renderings of the graphs;
+* ``cost``       — the §8 message-cost comparison;
+* ``distributed``— the §9 distributed reduction (local decisions);
+* ``petri``      — the §7.4 translation and its coverability verdict;
+* ``sweep``      — random-topology studies (priority / trust / gap);
+* ``examples``   — list the built-in fixtures.
+
+Examples::
+
+    repro-trust check --example example2
+    repro-trust sequence --example example1
+    repro-trust simulate --example example1 --adversary Broker:0
+    repro-trust indemnify --example figure7
+    repro-trust render --example example1 --what sequencing --dot
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.analysis.cost import chain_cost_sweep, format_chain_table, static_cost
+from repro.core.indemnity import minimal_indemnity_plan, splittable_conjunctions
+from repro.core.problem import ExchangeProblem
+from repro.core.protocol import synthesize_protocol
+from repro.errors import ReproError
+from repro.sim.agents import AdversaryStrategy
+from repro.sim.runtime import Simulation, simulate
+from repro.sim.safety import evaluate_safety
+from repro.spec.compiler import load_file
+from repro.viz.ascii_art import interaction_text, sequencing_text, trace_text
+from repro.viz.dot import interaction_to_dot, sequencing_to_dot
+from repro.workloads import (
+    example1,
+    example2,
+    example2_broker_trusts_source,
+    example2_source_trusts_broker,
+    figure7,
+    poor_broker,
+    simple_purchase,
+)
+
+EXAMPLES: dict[str, Callable[[], ExchangeProblem]] = {
+    "simple-purchase": simple_purchase,
+    "example1": example1,
+    "example2": example2,
+    "example2-source-trusts-broker": example2_source_trusts_broker,
+    "example2-broker-trusts-source": example2_broker_trusts_source,
+    "poor-broker": poor_broker,
+    "figure7": figure7,
+}
+
+
+def _load_problem(args: argparse.Namespace) -> ExchangeProblem:
+    if args.example is not None:
+        try:
+            return EXAMPLES[args.example]()
+        except KeyError:
+            raise ReproError(
+                f"unknown example {args.example!r}; run 'repro-trust examples'"
+            )
+    if args.spec is not None:
+        return load_file(args.spec)
+    raise ReproError("pass a spec file or --example NAME")
+
+
+def _add_problem_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("spec", nargs="?", help="path to a .exchange spec file")
+    parser.add_argument(
+        "--example", help="use a built-in example instead of a spec file"
+    )
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    problem = _load_problem(args)
+    verdict = problem.feasibility()
+    print("\n".join(trace_text(verdict.trace)))
+    print(verdict.explain())
+    return 0 if verdict.feasible else 1
+
+
+def _cmd_sequence(args: argparse.Namespace) -> int:
+    problem = _load_problem(args)
+    for line in problem.execution_sequence().describe():
+        print(line)
+    return 0
+
+
+def _cmd_protocol(args: argparse.Namespace) -> int:
+    problem = _load_problem(args)
+    sequence = problem.execution_sequence()
+    protocol = synthesize_protocol(problem.interaction, sequence, problem.name)
+    for line in protocol.describe():
+        print(line)
+    return 0
+
+
+def _cmd_indemnify(args: argparse.Namespace) -> int:
+    problem = _load_problem(args)
+    if not splittable_conjunctions(problem):
+        print(f"{problem.name}: no splittable (all-or-nothing) conjunction")
+        return 1
+    plan = minimal_indemnity_plan(problem)
+    for line in plan.describe():
+        print(line)
+    return 0 if plan.feasible else 1
+
+
+def _parse_adversaries(specs: list[str]) -> dict[str, AdversaryStrategy]:
+    adversaries: dict[str, AdversaryStrategy] = {}
+    for spec in specs:
+        name, _, count = spec.partition(":")
+        perform = int(count) if count else 0
+        adversaries[name] = AdversaryStrategy(perform=perform)
+    return adversaries
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    problem = _load_problem(args)
+    adversaries = _parse_adversaries(args.adversary)
+    if not problem.feasibility().feasible:
+        plan = minimal_indemnity_plan(problem)
+        print(f"(infeasible as specified; applying minimal indemnity plan "
+              f"of ${plan.total_dollars:.2f})")
+        sim = Simulation.from_plan(
+            problem, plan, adversaries=adversaries, deadline=args.deadline
+        )
+        result = sim.run()
+    else:
+        result = simulate(problem, adversaries=adversaries, deadline=args.deadline)
+    report = evaluate_safety(problem, result)
+    print(f"duration: {result.duration:.1f}  messages: {result.stats.messages_delivered}"
+          f"  completed exchanges: {len(result.completed_agents)}")
+    for line in report.describe():
+        print(line)
+    honest = frozenset(adversaries)
+    return 0 if report.honest_parties_safe(honest) else 1
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    problem = _load_problem(args)
+    if args.what == "interaction":
+        if args.dot:
+            print(interaction_to_dot(problem.interaction, problem.name))
+        else:
+            print("\n".join(interaction_text(problem.interaction)))
+    else:
+        graph = problem.sequencing_graph()
+        trace = problem.reduce() if args.reduced else None
+        if args.dot:
+            print(sequencing_to_dot(graph, problem.name, trace))
+        else:
+            print("\n".join(sequencing_text(graph)))
+            if trace is not None:
+                print("\n".join(trace_text(trace)))
+    return 0
+
+
+def _cmd_cost(args: argparse.Namespace) -> int:
+    if args.example or args.spec:
+        problem = _load_problem(args)
+        cost = static_cost(problem)
+        print(
+            f"{cost.problem_name}: {cost.n_exchanges} exchange(s); direct "
+            f"{cost.direct}, mediated {cost.mediated_static} "
+            f"(+notifies {cost.mediated_with_notifies}), universal {cost.universal}; "
+            f"mistrust overhead {cost.mistrust_ratio:.1f}x"
+        )
+    else:
+        print("\n".join(format_chain_table(chain_cost_sweep(args.max_brokers))))
+    return 0
+
+
+def _cmd_distributed(args: argparse.Namespace) -> int:
+    from repro.distributed import distributed_reduce
+
+    problem = _load_problem(args)
+    graph = problem.sequencing_graph()
+    trace = distributed_reduce(graph)
+    central = problem.feasibility().feasible
+    print(
+        f"{problem.name}: distributed={'feasible' if trace.feasible else 'infeasible'} "
+        f"(centralized agrees: {trace.feasible == central}); "
+        f"rounds={trace.rounds}, messages={trace.messages}"
+    )
+    for party, removed in trace.removed_by.items():
+        if removed:
+            print(f"  {party.name} removed: {', '.join(str(e.commitment.label) for e in removed)}")
+    return 0 if trace.feasible else 1
+
+
+def _cmd_petri(args: argparse.Namespace) -> int:
+    from repro.petri import exchange_completable, translate
+    from repro.viz import petri_to_dot
+
+    problem = _load_problem(args)
+    net, target = translate(problem)
+    result = exchange_completable(problem)
+    if args.dot:
+        print(petri_to_dot(net, problem.name, highlight=result.witness))
+        return 0 if result.coverable else 1
+    print(
+        f"{problem.name}: net has {len(net.places)} places, "
+        f"{len(net.transitions)} transitions"
+    )
+    print(f"completion coverable: {result.coverable}")
+    if result.coverable and args.witness:
+        print("witness firing sequence:")
+        for name in result.witness:
+            print(f"  {name}")
+    return 0 if result.coverable else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.feasibility_study import (
+        incompleteness_gap,
+        priority_sweep,
+        trust_sweep,
+    )
+
+    if args.study == "priority":
+        for row in priority_sweep(samples=args.samples):
+            print(
+                f"priority={row.priority_probability:4.2f}  feasible "
+                f"{row.feasible}/{row.samples} ({row.feasible_fraction:.0%})"
+            )
+    elif args.study == "trust":
+        for row in trust_sweep(samples=args.samples):
+            print(
+                f"+{row.trust_edges_added} trust edges  unlocked "
+                f"{row.unlocked}/{row.samples} ({row.unlocked_fraction:.0%})"
+            )
+    else:
+        row = incompleteness_gap(samples=args.samples)
+        print(
+            f"samples={row.samples}  reduction-feasible={row.reduction_feasible}  "
+            f"petri-coverable={row.petri_coverable}  gap={row.gap} "
+            f"({row.gap_fraction:.1%})  unsound={row.unsound}"
+        )
+    return 0
+
+
+def _cmd_examples(_args: argparse.Namespace) -> int:
+    for name, factory in EXAMPLES.items():
+        problem = factory()
+        verdict = "feasible" if problem.feasibility().feasible else "infeasible"
+        print(f"{name:<32} {verdict:>10}  ({len(problem.interaction.edges)} edges)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trust",
+        description="Trust-explicit distributed commerce transactions "
+        "(Ketchpel & Garcia-Molina, ICDCS 1996).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, handler, help_text in [
+        ("check", _cmd_check, "reduce the sequencing graph and test feasibility"),
+        ("sequence", _cmd_sequence, "print the recovered execution sequence"),
+        ("protocol", _cmd_protocol, "print the synthesized per-party protocol"),
+        ("indemnify", _cmd_indemnify, "compute the minimal indemnity plan"),
+    ]:
+        p = sub.add_parser(name, help=help_text)
+        _add_problem_args(p)
+        p.set_defaults(handler=handler)
+
+    p = sub.add_parser("simulate", help="run the protocol in the simulator")
+    _add_problem_args(p)
+    p.add_argument(
+        "--adversary",
+        action="append",
+        default=[],
+        metavar="NAME[:K]",
+        help="party NAME withholds after K honest instructions (default 0)",
+    )
+    p.add_argument("--deadline", type=float, default=100.0)
+    p.set_defaults(handler=_cmd_simulate)
+
+    p = sub.add_parser("render", help="render graphs as text or DOT")
+    _add_problem_args(p)
+    p.add_argument("--what", choices=["interaction", "sequencing"], default="interaction")
+    p.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
+    p.add_argument("--reduced", action="store_true", help="annotate the reduction")
+    p.set_defaults(handler=_cmd_render)
+
+    p = sub.add_parser("cost", help="§8 message-cost comparison")
+    _add_problem_args(p)
+    p.add_argument("--max-brokers", type=int, default=6)
+    p.set_defaults(handler=_cmd_cost)
+
+    p = sub.add_parser("distributed", help="run the §9 distributed reduction")
+    _add_problem_args(p)
+    p.set_defaults(handler=_cmd_distributed)
+
+    p = sub.add_parser("petri", help="§7.4 Petri translation + coverability")
+    _add_problem_args(p)
+    p.add_argument("--witness", action="store_true", help="print the firing sequence")
+    p.add_argument("--dot", action="store_true", help="emit Graphviz DOT of the net")
+    p.set_defaults(handler=_cmd_petri)
+
+    p = sub.add_parser("sweep", help="random-topology studies")
+    p.add_argument(
+        "study", choices=["priority", "trust", "gap"], help="which sweep to run"
+    )
+    p.add_argument("--samples", type=int, default=40)
+    p.set_defaults(handler=_cmd_sweep)
+
+    p = sub.add_parser("examples", help="list built-in examples")
+    p.set_defaults(handler=_cmd_examples)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,112 @@
+"""Transferable items: goods and money (paper §2.2).
+
+The paper's ``give`` action transfers a *document* and ``pay`` transfers a
+*dollar amount*; payment "is only a special case of a give action".  We model
+both under a common :class:`Item` interface so ledgers and transfer machinery
+are uniform, while keeping the give/pay distinction for action rendering and
+for the §5 rule that trusted agents release goods before payments.
+
+Money amounts are held in integer *cents* to avoid floating-point drift in
+ledgers and indemnity sums; the constructors accept floats/ints in dollars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True, order=True)
+class Item:
+    """Base class for transferable objects.  Identity is the label."""
+
+    label: str
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise ModelError("item label must be non-empty")
+
+    @property
+    def is_money(self) -> bool:
+        """Whether this item is a monetary amount (a :class:`Money`)."""
+        return False
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.label
+
+
+@dataclass(frozen=True, order=True)
+class Document(Item):
+    """A digital good: a document, dataset, or computation result.
+
+    >>> Document("d1").is_money
+    False
+    """
+
+
+@dataclass(frozen=True, order=True)
+class Money(Item):
+    """A dollar amount, stored as integer cents.
+
+    The label is derived from the amount so that equal amounts with equal
+    labels compare equal; distinct payments of the same amount in one exchange
+    should carry distinct labels (use :func:`money` with ``tag``).
+
+    >>> money(10).cents
+    1000
+    >>> str(money(10))
+    '$10.00'
+    """
+
+    cents: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.cents < 0:
+            raise ModelError(f"money amount must be non-negative, got {self.cents} cents")
+
+    @property
+    def is_money(self) -> bool:
+        return True
+
+    @property
+    def dollars(self) -> float:
+        """The amount in dollars as a float (for display and analysis)."""
+        return self.cents / 100.0
+
+    def __str__(self) -> str:
+        return f"${self.cents // 100}.{self.cents % 100:02d}"
+
+
+def document(label: str) -> Document:
+    """Create a document item."""
+    return Document(label)
+
+
+def money(dollars: float | int, tag: str = "") -> Money:
+    """Create a :class:`Money` amount from a dollar figure.
+
+    ``tag`` disambiguates multiple payments of the same amount within one
+    exchange (e.g. the broker's purchase price vs. the consumer's price).
+
+    >>> money(12.5).cents
+    1250
+    >>> money(10, tag="resale").label
+    '$10.00#resale'
+    """
+    cents = round(dollars * 100)
+    if cents < 0:
+        raise ModelError(f"money amount must be non-negative, got {dollars}")
+    base = f"${cents // 100}.{cents % 100:02d}"
+    label = f"{base}#{tag}" if tag else base
+    return Money(label=label, cents=cents)
+
+
+def cents(amount: int, tag: str = "") -> Money:
+    """Create a :class:`Money` amount from integer cents."""
+    if amount < 0:
+        raise ModelError(f"money amount must be non-negative, got {amount} cents")
+    base = f"${amount // 100}.{amount % 100:02d}"
+    label = f"{base}#{tag}" if tag else base
+    return Money(label=label, cents=amount)

@@ -1,0 +1,193 @@
+"""Mediation planning under a hierarchy of trust (§9 future work).
+
+The paper closes with: "Another interesting extension is trust relationships
+among the trusted intermediaries.  A 'hierarchy of trust' may allow more
+completed transactions, and model more closely the use of trust in the real
+world."
+
+This module makes trust in intermediaries *explicit* (in the body of the
+paper it is implicit in the interaction edges) and implements the
+hierarchy: if principal *a* trusts component *t₁* and *t₁* trusts *t₂*, then
+*a* may transact through *t₂* — trust composes along chains of trusted
+components (and only through trusted components: a hierarchy of escrows, not
+of principals).  The planner finds a common usable intermediary for two
+principals under the closure and emits the standard pairwise exchange; the
+accompanying study quantifies how many principal pairs become transactable
+as the hierarchy deepens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.interaction import InteractionGraph
+from repro.core.items import Item
+from repro.core.parties import Party
+from repro.core.problem import ExchangeProblem
+from repro.core.trust import TrustRelation
+from repro.errors import GraphError
+
+
+class NoCommonIntermediaryError(GraphError):
+    """No trusted component is (transitively) trusted by both principals."""
+
+
+def hierarchical_closure(trust: TrustRelation, max_depth: int | None = None) -> TrustRelation:
+    """Close trust over chains of trusted components.
+
+    ``x → t₁ → t₂ → … → tₖ`` yields ``x → tₖ`` when every tᵢ is a trusted
+    component: intermediaries vouch for intermediaries, but a principal in
+    the middle of a chain breaks it (principals are self-interested; §7.1).
+    ``max_depth`` bounds the chain length (None = unbounded).
+    """
+    closure = trust.copy()
+    depth = 0
+    changed = True
+    while changed and (max_depth is None or depth < max_depth):
+        changed = False
+        depth += 1
+        for truster, middle in list(closure):
+            if not middle.is_trusted:
+                continue
+            for trustee in closure.trustees_of(middle):
+                if not trustee.is_trusted or trustee == truster:
+                    continue
+                if not closure.trusts(truster, trustee):
+                    closure.add(truster, trustee)
+                    changed = True
+    return closure
+
+
+def usable_intermediaries(
+    a: Party,
+    b: Party,
+    trust: TrustRelation,
+    pool: list[Party] | tuple[Party, ...],
+    hierarchy: bool = True,
+) -> tuple[Party, ...]:
+    """Trusted components both *a* and *b* trust (directly, or through the
+    hierarchy when *hierarchy* is set)."""
+    effective = hierarchical_closure(trust) if hierarchy else trust
+    return tuple(
+        t
+        for t in pool
+        if t.is_trusted and effective.trusts(a, t) and effective.trusts(b, t)
+    )
+
+
+@dataclass(frozen=True)
+class MediationPlan:
+    """A planned pairwise exchange through a commonly trusted component."""
+
+    left: Party
+    right: Party
+    via: Party
+    used_hierarchy: bool
+
+
+def plan_mediation(
+    a: Party,
+    b: Party,
+    trust: TrustRelation,
+    pool: list[Party] | tuple[Party, ...],
+) -> MediationPlan:
+    """Choose an intermediary for *a* and *b*, preferring directly shared ones.
+
+    Raises :class:`NoCommonIntermediaryError` when even the hierarchy closes
+    no gap — the exchange cannot be protected (absent direct principal
+    trust or indemnities negotiated elsewhere).
+    """
+    direct = usable_intermediaries(a, b, trust, pool, hierarchy=False)
+    if direct:
+        return MediationPlan(a, b, direct[0], used_hierarchy=False)
+    bridged = usable_intermediaries(a, b, trust, pool, hierarchy=True)
+    if bridged:
+        return MediationPlan(a, b, bridged[0], used_hierarchy=True)
+    raise NoCommonIntermediaryError(
+        f"{a.name} and {b.name} share no trusted intermediary, even through "
+        "the trust hierarchy"
+    )
+
+
+def mediated_problem(
+    name: str,
+    a: Party,
+    item_a: Item,
+    b: Party,
+    item_b: Item,
+    trust: TrustRelation,
+    pool: list[Party] | tuple[Party, ...],
+) -> tuple[ExchangeProblem, MediationPlan]:
+    """Build the standard protected exchange for the planned intermediary."""
+    plan = plan_mediation(a, b, trust, pool)
+    graph = InteractionGraph()
+    graph.add_principal(a)
+    graph.add_principal(b)
+    graph.add_trusted(plan.via)
+    graph.add_exchange(a, item_a, b, item_b, via=plan.via)
+    problem = ExchangeProblem(name, graph).validate()
+    return problem, plan
+
+
+@dataclass(frozen=True)
+class HierarchyStudyRow:
+    """Transactable principal pairs with and without the hierarchy."""
+
+    n_principals: int
+    n_intermediaries: int
+    pairs_total: int
+    pairs_direct: int
+    pairs_hierarchical: int
+
+    @property
+    def unlocked_by_hierarchy(self) -> int:
+        return self.pairs_hierarchical - self.pairs_direct
+
+
+def hierarchy_study(
+    n_principals: int = 8,
+    n_intermediaries: int = 5,
+    direct_trust_probability: float = 0.3,
+    inter_trust_probability: float = 0.4,
+    seed: int = 0,
+) -> HierarchyStudyRow:
+    """Random trust topologies: how many pairs does the hierarchy unlock?
+
+    Each principal trusts each intermediary independently with
+    ``direct_trust_probability``; each ordered intermediary pair trusts with
+    ``inter_trust_probability``.
+    """
+    import random
+
+    from repro.core.parties import broker, trusted
+
+    rng = random.Random(seed)
+    principals = [broker(f"P{i + 1}") for i in range(n_principals)]
+    pool = [trusted(f"T{i + 1}") for i in range(n_intermediaries)]
+    trust = TrustRelation()
+    for p in principals:
+        for t in pool:
+            if rng.random() < direct_trust_probability:
+                trust.add(p, t)
+    for t1 in pool:
+        for t2 in pool:
+            if t1 != t2 and rng.random() < inter_trust_probability:
+                trust.add(t1, t2)
+
+    pairs_total = 0
+    pairs_direct = 0
+    pairs_hierarchical = 0
+    for i, a in enumerate(principals):
+        for b in principals[i + 1 :]:
+            pairs_total += 1
+            if usable_intermediaries(a, b, trust, pool, hierarchy=False):
+                pairs_direct += 1
+            if usable_intermediaries(a, b, trust, pool, hierarchy=True):
+                pairs_hierarchical += 1
+    return HierarchyStudyRow(
+        n_principals=n_principals,
+        n_intermediaries=n_intermediaries,
+        pairs_total=pairs_total,
+        pairs_direct=pairs_direct,
+        pairs_hierarchical=pairs_hierarchical,
+    )

@@ -1,0 +1,210 @@
+"""Protocol synthesis: from a total order to per-party instructions.
+
+The paper defines a *protocol* as "a set of instructions for each participant
+that governs its actions" and calls a protocol acceptable when every
+execution it sanctions ends in a state acceptable to all parties (§2.3).
+This module compiles a recovered :class:`ExecutionSequence` into such
+instructions:
+
+* **Principals** get a :class:`PrincipalRole`: an ordered list of
+  :class:`SendInstruction`, each guarded by the set of *locally observable*
+  events (transfers delivered to the principal, notifications addressed to
+  it) that precede the send in the global order.  A principal that follows
+  its role never moves before the assurances the sequencing graph proved it
+  should have.
+* **Trusted components** get a :class:`TrustedExchangeSpec` — the §2.5
+  semantics: hold deposits, notify the last outstanding party, release all
+  pieces when complete, reverse everything on deadline expiry.  They are not
+  scripted step-by-step because their behaviour is the *same* in every
+  exchange; the spec only tells them what to expect and where to send it.
+
+The simulator (:mod:`repro.sim`) interprets both role kinds directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.actions import Action
+from repro.core.execution import ExecutionSequence, StepKind
+from repro.core.indemnity import IndemnityOffer
+from repro.core.interaction import InteractionGraph
+from repro.core.items import Item
+from repro.core.parties import Party
+from repro.errors import ProtocolError
+
+
+@dataclass(frozen=True)
+class SendInstruction:
+    """One guarded send: perform *action* once *preconditions* were observed.
+
+    ``preconditions`` are actions whose effect is locally observable at the
+    sender — transfers whose effective recipient is the sender, or notifies
+    addressed to it.  ``global_index`` records the position in the source
+    execution sequence (useful for debugging and metrics).
+    """
+
+    global_index: int
+    action: Action
+    preconditions: frozenset[Action]
+
+    def ready(self, observed: set[Action]) -> bool:
+        """Whether every precondition has been observed."""
+        return self.preconditions <= observed
+
+    def __str__(self) -> str:
+        guards = ", ".join(sorted(str(a) for a in self.preconditions)) or "none"
+        return f"[{self.global_index}] send {self.action} after: {guards}"
+
+
+@dataclass(frozen=True)
+class PrincipalRole:
+    """All instructions for one principal, in global order."""
+
+    party: Party
+    instructions: tuple[SendInstruction, ...]
+
+    def describe(self) -> list[str]:
+        lines = [f"role {self.party.name}:"]
+        lines.extend(f"  {i}" for i in self.instructions)
+        return lines
+
+
+@dataclass(frozen=True)
+class TrustedExchangeSpec:
+    """What one trusted component expects and owes (§2.5).
+
+    ``deposits`` maps each participating principal to the item it must
+    deposit; ``entitlements`` maps each principal to the item the component
+    forwards to it on completion.  ``deadline`` bounds how long deposits are
+    held before reversal.  ``indemnities`` lists escrows this component
+    administers (§6): deposits outside the swap, refunded on success and
+    forfeited to the beneficiary on failure.
+    """
+
+    agent: Party
+    deposits: tuple[tuple[Party, Item], ...]
+    entitlements: tuple[tuple[Party, Item], ...]
+    deadline: float | None = None
+    indemnities: tuple[IndemnityOffer, ...] = ()
+
+    def expected_from(self, principal: Party) -> Item:
+        """The deposit owed by *principal* (raises for non-participants)."""
+        for party, item in self.deposits:
+            if party == principal:
+                return item
+        raise ProtocolError(f"{principal.name} deposits nothing at {self.agent.name}")
+
+    def owed_to(self, principal: Party) -> Item:
+        """The item released to *principal* on completion."""
+        for party, item in self.entitlements:
+            if party == principal:
+                return item
+        raise ProtocolError(f"{self.agent.name} owes nothing to {principal.name}")
+
+    @property
+    def participants(self) -> tuple[Party, ...]:
+        return tuple(party for party, _ in self.deposits)
+
+
+@dataclass(frozen=True)
+class Protocol:
+    """The full synthesized protocol for one exchange problem."""
+
+    problem_name: str
+    sequence: ExecutionSequence
+    roles: dict[Party, PrincipalRole] = field(default_factory=dict)
+    trusted_specs: dict[Party, TrustedExchangeSpec] = field(default_factory=dict)
+
+    def role_of(self, party: Party) -> PrincipalRole:
+        """The scripted role of a principal."""
+        try:
+            return self.roles[party]
+        except KeyError:
+            raise ProtocolError(f"{party.name} has no principal role in {self.problem_name}")
+
+    def spec_of(self, agent: Party) -> TrustedExchangeSpec:
+        """The escrow spec of a trusted component."""
+        try:
+            return self.trusted_specs[agent]
+        except KeyError:
+            raise ProtocolError(f"{agent.name} has no trusted spec in {self.problem_name}")
+
+    def describe(self) -> list[str]:
+        lines = [f"protocol for {self.problem_name}:"]
+        for role in self.roles.values():
+            lines.extend("  " + line for line in role.describe())
+        for spec in self.trusted_specs.values():
+            deposits = ", ".join(f"{p.name}:{i}" for p, i in spec.deposits)
+            lines.append(f"  escrow {spec.agent.name}: deposits {deposits}")
+        return lines
+
+
+def _observable_at(action: Action, party: Party) -> bool:
+    """Whether *party* locally observes the completion of *action*."""
+    return action.effective_recipient == party
+
+
+def synthesize_protocol(
+    interaction: InteractionGraph,
+    sequence: ExecutionSequence,
+    problem_name: str = "exchange",
+    deadline: float | None = None,
+    indemnities: tuple[IndemnityOffer, ...] = (),
+) -> Protocol:
+    """Compile an execution sequence into per-party instructions.
+
+    Principal sends are the DEPOSIT and INDEMNITY_DEPOSIT steps; each is
+    guarded by every earlier step observable at that principal.  Trusted
+    components receive a :class:`TrustedExchangeSpec` derived from the
+    interaction graph (their behaviour is data-independent of the order).
+    """
+    roles: dict[Party, list[SendInstruction]] = {}
+    for step in sequence.steps:
+        if step.kind not in (StepKind.DEPOSIT, StepKind.INDEMNITY_DEPOSIT):
+            continue
+        sender = step.action.sender
+        if not sender.is_principal:
+            raise ProtocolError(
+                f"step {step.index} has trusted component {sender.name} as depositor"
+            )
+        preconditions = frozenset(
+            earlier.action
+            for earlier in sequence.steps
+            if earlier.index < step.index and _observable_at(earlier.action, sender)
+        )
+        roles.setdefault(sender, []).append(
+            SendInstruction(step.index, step.action, preconditions)
+        )
+
+    trusted_specs: dict[Party, TrustedExchangeSpec] = {}
+    indemnities_by_agent: dict[Party, list[IndemnityOffer]] = {}
+    for offer in indemnities:
+        indemnities_by_agent.setdefault(offer.via, []).append(offer)
+    for agent in interaction.trusted_components:
+        edges = interaction.edges_at(agent)
+        deposits = tuple((e.principal, e.provides) for e in edges)
+        entitlements = tuple((e.principal, interaction.expects(e)) for e in edges)
+        agent_deadline = interaction.deadline_of(agent)
+        trusted_specs[agent] = TrustedExchangeSpec(
+            agent=agent,
+            deposits=deposits,
+            entitlements=entitlements,
+            deadline=agent_deadline if agent_deadline is not None else deadline,
+            indemnities=tuple(indemnities_by_agent.get(agent, ())),
+        )
+
+    principal_roles = {
+        party: PrincipalRole(party, tuple(instructions))
+        for party, instructions in roles.items()
+    }
+    # Principals that only receive (pure producers in some topologies) still
+    # get an empty role so the simulator can instantiate them uniformly.
+    for principal in interaction.principals:
+        principal_roles.setdefault(principal, PrincipalRole(principal, ()))
+    return Protocol(
+        problem_name=problem_name,
+        sequence=sequence,
+        roles=principal_roles,
+        trusted_specs=trusted_specs,
+    )

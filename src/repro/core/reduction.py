@@ -1,0 +1,361 @@
+"""Sequencing-graph reduction (paper §4.2).
+
+Two reduction rules remove edges from a sequencing graph:
+
+* **Rule #1** (commitment fringe): an edge ``(c, j)`` may be removed when
+  commitment *c* has no other remaining edge AND either (clause 1) no *other*
+  red edge remains at *j*, or (clause 2) the trusted-agent role of *c* is
+  played by *c*'s own principal (a persona, §4.2.3).  The candidate edge
+  itself never pre-empts its own removal — this is required to reproduce the
+  paper's Example #1, where the red edge at ∧B is removed by Rule #1 once it
+  is the only red edge left there.
+* **Rule #2** (conjunction fringe): an edge ``(c, j)`` may be removed when
+  conjunction *j* has no other remaining edge.
+
+Reductions "may be done in a greedy fashion — any applicable reduction may be
+applied at any time, in any order" and the feasibility verdict is
+order-independent (§4.2.4); the property-based tests exercise exactly this
+confluence claim.  The engine therefore supports both automatic strategies
+(``fifo``, ``lifo``, ``random``) and scripted step-by-step replay (used by the
+benchmarks to replay the paper's circled elimination orders).
+
+A reduced graph is **feasible** iff no edges remain (§4.2.4).  When edges do
+remain the trace carries a :class:`Blockage` diagnosis: which fringe
+commitments are pre-empted by which red edges — the raw material for the
+indemnity planner (§6).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.core.sequencing import (
+    CommitmentNode,
+    ConjunctionNode,
+    SGEdge,
+    SequencingGraph,
+)
+from repro.errors import ReductionError
+
+
+class Rule(enum.IntEnum):
+    """The paper's two reduction rules (§4.2.1)."""
+
+    COMMITMENT_FRINGE = 1
+    CONJUNCTION_FRINGE = 2
+
+
+@dataclass(frozen=True)
+class ReductionStep:
+    """One edge removal: which rule, which edge, and what it disconnected.
+
+    ``via_persona`` is True when Rule #1 fired through clause 2 (direct
+    trust).  ``commitment_disconnected``/``conjunction_disconnected`` are set
+    when this removal left that node with no remaining edges — the events
+    that drive execution-sequence recovery (§5).
+    """
+
+    index: int
+    rule: Rule
+    edge: SGEdge
+    via_persona: bool = False
+    commitment_disconnected: CommitmentNode | None = None
+    conjunction_disconnected: ConjunctionNode | None = None
+
+    def __str__(self) -> str:
+        persona = " (persona)" if self.via_persona else ""
+        return f"step {self.index}: Rule#{int(self.rule)}{persona} removes {self.edge}"
+
+
+@dataclass(frozen=True)
+class Blockage:
+    """A fringe commitment edge that cannot be removed, and why (§4.2.4).
+
+    ``blocking_red`` lists the red edges at the conjunction that pre-empt the
+    blocked edge (Rule #1 clause 1 failure, with no persona to rescue it).
+    """
+
+    edge: SGEdge
+    blocking_red: tuple[SGEdge, ...]
+
+    def __str__(self) -> str:
+        reds = ", ".join(str(e) for e in self.blocking_red)
+        return f"{self.edge} blocked by red edge(s): {reds}"
+
+
+@dataclass(frozen=True)
+class ReductionTrace:
+    """The complete record of one reduction run.
+
+    * ``steps`` — the edge removals, in order;
+    * ``remaining`` — edges left when no rule applied any more;
+    * ``feasible`` — the §4.2.4 test: ``remaining`` is empty;
+    * ``commitment_order`` — commitment nodes in disconnection order (the
+      commit order of §5);
+    * ``conjunction_order`` — conjunction nodes in disconnection order;
+    * ``blockages`` — diagnosis of the impasse when infeasible.
+    """
+
+    graph: SequencingGraph
+    steps: tuple[ReductionStep, ...]
+    remaining: frozenset[SGEdge]
+    commitment_order: tuple[CommitmentNode, ...]
+    conjunction_order: tuple[ConjunctionNode, ...]
+    blockages: tuple[Blockage, ...]
+
+    @property
+    def feasible(self) -> bool:
+        """The objective feasibility test: all edges removed (§4.2.4)."""
+        return not self.remaining
+
+    def step_for_edge(self, edge: SGEdge) -> ReductionStep:
+        """The step that removed *edge* (raises if it was never removed)."""
+        for step in self.steps:
+            if step.edge == edge:
+                return step
+        raise ReductionError(f"edge {edge} was not removed in this trace")
+
+    def __str__(self) -> str:
+        header = "feasible" if self.feasible else f"INFEASIBLE ({len(self.remaining)} edges remain)"
+        lines = [f"ReductionTrace: {header}"]
+        lines.extend(f"  {step}" for step in self.steps)
+        if not self.feasible:
+            lines.extend(f"  !! {blockage}" for blockage in self.blockages)
+        return "\n".join(lines)
+
+
+class ReductionEngine:
+    """Mutable reduction state over an (immutable) sequencing graph.
+
+    Use :meth:`applicable` to enumerate legal steps, :meth:`apply` /
+    :meth:`apply_edge` to perform one, and :meth:`run` for an automatic
+    greedy reduction.  :func:`reduce_graph` is the one-call convenience.
+    """
+
+    def __init__(self, graph: SequencingGraph, enable_persona_clause: bool = True) -> None:
+        """``enable_persona_clause=False`` ablates Rule #1 clause 2 (the
+        §4.2.3 direct-trust waiver); used by the ablation benchmarks to show
+        the clause is exactly what makes the trust variants differ."""
+        self.graph = graph
+        self.enable_persona_clause = enable_persona_clause
+        self.remaining: set[SGEdge] = set(graph.edges)
+        self.steps: list[ReductionStep] = []
+        self._commitment_order: list[CommitmentNode] = []
+        self._conjunction_order: list[ConjunctionNode] = []
+        # Commitments/conjunctions that start with no edges are disconnected
+        # from the outset (possible only in hand-built graphs).
+        for commitment in graph.commitments:
+            if not self._edges_of_commitment(commitment):
+                self._commitment_order.append(commitment)
+        for conjunction in graph.conjunctions:
+            if not self._edges_of_conjunction(conjunction):
+                self._conjunction_order.append(conjunction)
+
+    # ----------------------------------------------------------- fringe tests
+
+    def _edges_of_commitment(self, commitment: CommitmentNode) -> list[SGEdge]:
+        return [e for e in self.remaining if e.commitment == commitment]
+
+    def _edges_of_conjunction(self, conjunction: ConjunctionNode) -> list[SGEdge]:
+        return [e for e in self.remaining if e.conjunction == conjunction]
+
+    def is_commitment_fringe(self, commitment: CommitmentNode) -> bool:
+        """Whether *commitment* has exactly one remaining edge."""
+        return len(self._edges_of_commitment(commitment)) == 1
+
+    def is_conjunction_fringe(self, conjunction: ConjunctionNode) -> bool:
+        """Whether *conjunction* has exactly one remaining edge."""
+        return len(self._edges_of_conjunction(conjunction)) == 1
+
+    def blocking_red_edges(self, edge: SGEdge) -> tuple[SGEdge, ...]:
+        """Remaining red edges at ``edge.conjunction`` from *other* commitments."""
+        return tuple(
+            other
+            for other in self._edges_of_conjunction(edge.conjunction)
+            if other.is_red and other.commitment != edge.commitment
+        )
+
+    def rule1_applicable(self, edge: SGEdge) -> tuple[bool, bool]:
+        """Whether Rule #1 may remove *edge*; returns ``(ok, via_persona)``.
+
+        Clause 1: no other red edge remains at the conjunction.  Clause 2:
+        the commitment is a persona (its principal plays the trusted-agent
+        role), which waives pre-emption entirely (§4.2.3).
+        """
+        if edge not in self.remaining:
+            return False, False
+        if not self.is_commitment_fringe(edge.commitment):
+            return False, False
+        if self.enable_persona_clause and edge.commitment in self.graph.personas:
+            # Clause 2 applies; report persona only when clause 1 would fail,
+            # so traces show where direct trust actually mattered.
+            pre_empted = bool(self.blocking_red_edges(edge))
+            return True, pre_empted
+        if self.blocking_red_edges(edge):
+            return False, False
+        return True, False
+
+    def rule2_applicable(self, edge: SGEdge) -> bool:
+        """Whether Rule #2 may remove *edge* (its conjunction is fringe)."""
+        return edge in self.remaining and self.is_conjunction_fringe(edge.conjunction)
+
+    def applicable(self) -> list[tuple[Rule, SGEdge, bool]]:
+        """Every currently legal step as ``(rule, edge, via_persona)``.
+
+        The list is deterministic: edges in original graph order, Rule #1
+        before Rule #2 for the same edge.
+        """
+        result: list[tuple[Rule, SGEdge, bool]] = []
+        for edge in self.graph.edges:
+            if edge not in self.remaining:
+                continue
+            ok, via_persona = self.rule1_applicable(edge)
+            if ok:
+                result.append((Rule.COMMITMENT_FRINGE, edge, via_persona))
+            if self.rule2_applicable(edge):
+                result.append((Rule.CONJUNCTION_FRINGE, edge, False))
+        return result
+
+    # ----------------------------------------------------------------- apply
+
+    def apply(self, rule: Rule, edge: SGEdge) -> ReductionStep:
+        """Apply *rule* to *edge*; raise :class:`ReductionError` if illegal."""
+        if edge not in self.remaining:
+            raise ReductionError(f"edge already removed or unknown: {edge}")
+        via_persona = False
+        if rule is Rule.COMMITMENT_FRINGE:
+            ok, via_persona = self.rule1_applicable(edge)
+            if not ok:
+                if not self.is_commitment_fringe(edge.commitment):
+                    raise ReductionError(
+                        f"Rule #1 inapplicable: {edge.commitment.label} is not a fringe node"
+                    )
+                reds = self.blocking_red_edges(edge)
+                raise ReductionError(
+                    f"Rule #1 inapplicable: {edge} is pre-empted by red edge(s) "
+                    f"{[str(r) for r in reds]} and the commitment is not a persona"
+                )
+        elif rule is Rule.CONJUNCTION_FRINGE:
+            if not self.rule2_applicable(edge):
+                raise ReductionError(
+                    f"Rule #2 inapplicable: {edge.conjunction.label} is not a fringe node"
+                )
+        else:  # pragma: no cover - enum exhausted
+            raise ReductionError(f"unknown rule {rule!r}")
+
+        self.remaining.discard(edge)
+        commitment_done = None
+        conjunction_done = None
+        if not self._edges_of_commitment(edge.commitment):
+            commitment_done = edge.commitment
+            self._commitment_order.append(edge.commitment)
+        if not self._edges_of_conjunction(edge.conjunction):
+            conjunction_done = edge.conjunction
+            self._conjunction_order.append(edge.conjunction)
+        step = ReductionStep(
+            index=len(self.steps) + 1,
+            rule=rule,
+            edge=edge,
+            via_persona=via_persona,
+            commitment_disconnected=commitment_done,
+            conjunction_disconnected=conjunction_done,
+        )
+        self.steps.append(step)
+        return step
+
+    def apply_edge(self, edge: SGEdge) -> ReductionStep:
+        """Remove *edge* by whichever rule applies (Rule #1 preferred)."""
+        ok, _ = self.rule1_applicable(edge)
+        if ok:
+            return self.apply(Rule.COMMITMENT_FRINGE, edge)
+        if self.rule2_applicable(edge):
+            return self.apply(Rule.CONJUNCTION_FRINGE, edge)
+        raise ReductionError(f"no reduction rule applies to {edge}")
+
+    # -------------------------------------------------------------------- run
+
+    def run(
+        self,
+        strategy: str = "fifo",
+        rng: random.Random | None = None,
+        chooser: Callable[[list[tuple[Rule, SGEdge, bool]]], tuple[Rule, SGEdge, bool]]
+        | None = None,
+    ) -> ReductionTrace:
+        """Greedily reduce until no rule applies; return the trace.
+
+        ``strategy`` selects among applicable steps: ``"fifo"`` (first in
+        deterministic order), ``"lifo"`` (last), or ``"random"`` (requires
+        *rng* for reproducibility).  A custom *chooser* overrides strategy.
+        """
+        if strategy == "random" and rng is None and chooser is None:
+            rng = random.Random(0)
+        while True:
+            options = self.applicable()
+            if not options:
+                break
+            if chooser is not None:
+                choice = chooser(options)
+                if choice not in options:
+                    raise ReductionError("chooser returned an inapplicable step")
+            elif strategy == "fifo":
+                choice = options[0]
+            elif strategy == "lifo":
+                choice = options[-1]
+            elif strategy == "random":
+                assert rng is not None
+                choice = rng.choice(options)
+            else:
+                raise ReductionError(f"unknown reduction strategy {strategy!r}")
+            rule, edge, _ = choice
+            self.apply(rule, edge)
+        return self.trace()
+
+    def trace(self) -> ReductionTrace:
+        """Snapshot the current state as a :class:`ReductionTrace`."""
+        return ReductionTrace(
+            graph=self.graph,
+            steps=tuple(self.steps),
+            remaining=frozenset(self.remaining),
+            commitment_order=tuple(self._commitment_order),
+            conjunction_order=tuple(self._conjunction_order),
+            blockages=tuple(self._diagnose()),
+        )
+
+    def _diagnose(self) -> list[Blockage]:
+        """Explain the impasse: fringe commitment edges pre-empted by reds."""
+        blockages: list[Blockage] = []
+        for edge in sorted(self.remaining):
+            if not self.is_commitment_fringe(edge.commitment):
+                continue
+            reds = self.blocking_red_edges(edge)
+            persona_waived = (
+                self.enable_persona_clause and edge.commitment in self.graph.personas
+            )
+            if reds and not persona_waived:
+                blockages.append(Blockage(edge=edge, blocking_red=reds))
+        return blockages
+
+
+def reduce_graph(
+    graph: SequencingGraph,
+    strategy: str = "fifo",
+    rng: random.Random | None = None,
+) -> ReductionTrace:
+    """Reduce *graph* greedily and return the trace (one-call convenience)."""
+    return ReductionEngine(graph).run(strategy=strategy, rng=rng)
+
+
+def replay(graph: SequencingGraph, script: Iterable[tuple[Rule, SGEdge]]) -> ReductionTrace:
+    """Replay an explicit sequence of ``(rule, edge)`` steps.
+
+    Used by the figure benchmarks to replay the paper's circled elimination
+    orders and assert each step is legal.  The replayed steps need not
+    exhaust the graph; the returned trace reflects whatever remains.
+    """
+    engine = ReductionEngine(graph)
+    for rule, edge in script:
+        engine.apply(rule, edge)
+    return engine.trace()

@@ -1,0 +1,214 @@
+"""Exchange states and per-party acceptance specifications (paper §2.3).
+
+A *state* is the unordered set of actions executed so far.  Each party owns an
+:class:`AcceptanceSpec`: a set of partial state descriptions such that a final
+state is acceptable to the party iff it contains a superset of one
+description's actions *and no other action performed by that party*.  One
+acceptable description is marked *preferred*, which prevents, e.g., a seller
+from always refunding when it could deliver.
+
+The module also provides :func:`purchase_acceptance`, the canonical
+buyer/seller/trusted-component specs the paper walks through for the simple
+document purchase (the four acceptable customer states of §2.3), reused by the
+simulator's safety monitor and many tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.core.actions import Action
+from repro.core.items import Item, Money
+from repro.core.parties import Party
+from repro.errors import ModelError
+from repro.core.actions import give, pay
+
+
+def _performer(action: Action) -> Party:
+    """The party that physically executes *action* (returns for inverses)."""
+    return action.effective_sender
+
+
+@dataclass(frozen=True)
+class ExchangeState:
+    """An unordered set of executed actions.
+
+    >>> s = ExchangeState.empty()
+    >>> s.is_status_quo
+    True
+    """
+
+    actions: frozenset[Action] = field(default_factory=frozenset)
+
+    @classmethod
+    def empty(cls) -> "ExchangeState":
+        """The status-quo state ``{}``."""
+        return cls(frozenset())
+
+    @classmethod
+    def of(cls, actions: Iterable[Action]) -> "ExchangeState":
+        """Build a state from any iterable of actions."""
+        return cls(frozenset(actions))
+
+    @property
+    def is_status_quo(self) -> bool:
+        """Whether no actions have been executed."""
+        return not self.actions
+
+    def with_action(self, action: Action) -> "ExchangeState":
+        """The state after additionally executing *action*."""
+        return ExchangeState(self.actions | {action})
+
+    def actions_by(self, party: Party) -> frozenset[Action]:
+        """All actions in this state performed by *party*."""
+        return frozenset(a for a in self.actions if _performer(a) == party)
+
+    def transfers(self) -> frozenset[Action]:
+        """All give/pay actions (including inverses), excluding notifies."""
+        return frozenset(a for a in self.actions if a.is_transfer)
+
+    def contains(self, actions: Iterable[Action]) -> bool:
+        """Whether every action in *actions* has been executed."""
+        return frozenset(actions) <= self.actions
+
+    def net_uncompensated(self) -> frozenset[Action]:
+        """Transfers whose inverse has not also been executed.
+
+        A ``give``/``pay`` paired with its ``give⁻¹``/``pay⁻¹`` nets out to
+        the status quo for ownership purposes.
+        """
+        remaining = set()
+        for action in self.transfers():
+            if action.inverted:
+                continue
+            if action.inverse() not in self.actions:
+                remaining.add(action)
+        # Inverted actions without an original are dangling reversals and are
+        # kept so the anomaly remains visible to acceptance checks.
+        for action in self.transfers():
+            if action.inverted and action.inverse() not in self.actions:
+                remaining.add(action)
+        return frozenset(remaining)
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    def __iter__(self) -> Iterator[Action]:
+        return iter(self.actions)
+
+    def __str__(self) -> str:
+        if self.is_status_quo:
+            return "{}"
+        return "{" + ", ".join(sorted(str(a) for a in self.actions)) + "}"
+
+
+@dataclass(frozen=True)
+class AcceptanceSpec:
+    """A party's acceptable (and preferred) final states (§2.3).
+
+    ``acceptable`` is the set of partial state descriptions; ``preferred``
+    must be one of them.  A state *S* is acceptable iff some description *D*
+    satisfies ``D ⊆ S`` and *S* contains no action performed by ``party``
+    outside *D*.
+    """
+
+    party: Party
+    acceptable: tuple[frozenset[Action], ...]
+    preferred: frozenset[Action]
+
+    def __post_init__(self) -> None:
+        if self.preferred not in self.acceptable:
+            raise ModelError(
+                f"preferred state for {self.party.name} must be one of the acceptable states"
+            )
+
+    def accepts(self, state: ExchangeState) -> bool:
+        """Whether *state* is an acceptable outcome for this party."""
+        return any(self._matches(description, state) for description in self.acceptable)
+
+    def matching_description(self, state: ExchangeState) -> frozenset[Action] | None:
+        """The first acceptable description matched by *state*, or ``None``."""
+        for description in self.acceptable:
+            if self._matches(description, state):
+                return description
+        return None
+
+    def is_preferred(self, state: ExchangeState) -> bool:
+        """Whether *state* matches the preferred description."""
+        return self._matches(self.preferred, state)
+
+    def _matches(self, description: frozenset[Action], state: ExchangeState) -> bool:
+        if not description <= state.actions:
+            return False
+        own_in_state = state.actions_by(self.party)
+        own_in_description = frozenset(a for a in description if _performer(a) == self.party)
+        return own_in_state <= own_in_description
+
+
+def purchase_acceptance(
+    customer: Party,
+    seller: Party,
+    good: Item,
+    price: Money,
+    via: Party | None = None,
+) -> dict[Party, AcceptanceSpec]:
+    """The canonical acceptance specs for a simple purchase (§2.3).
+
+    When ``via`` is ``None``, the customer pays the seller directly; the four
+    acceptable customer states are exactly the paper's: the completed
+    exchange, the refund, the status quo, and the windfall (goods without
+    payment).  With a trusted intermediary ``via``, payments flow to the
+    intermediary and goods may arrive from either the intermediary or the
+    seller, mirroring the §3.1 formalization.
+    """
+    payee = via if via is not None else seller
+    pay_act = pay(customer, payee, price)
+    refund = pay_act.inverse()
+    sources = [seller] if via is None else [seller, via]
+    receive_any = [give(src, customer, good) for src in sources]
+    deliver_target = via if via is not None else customer
+    deliver = give(seller, deliver_target, good)
+    returned = deliver.inverse()
+    seller_paid_any = [pay(customer, payee, price)] if via is None else [
+        pay(customer, via, price),
+        pay(via, seller, price),
+    ]
+
+    customer_states: list[frozenset[Action]] = []
+    preferred_customer = frozenset({receive_any[0], pay_act})
+    for receive in receive_any:
+        customer_states.append(frozenset({receive, pay_act}))
+    customer_states.append(frozenset())  # status quo
+    for receive in receive_any:
+        customer_states.append(frozenset({receive}))  # windfall
+    customer_states.append(frozenset({pay_act, refund}))  # refunded
+
+    seller_states: list[frozenset[Action]] = []
+    preferred_seller = frozenset({deliver, seller_paid_any[-1]})
+    for paid in seller_paid_any:
+        seller_states.append(frozenset({deliver, paid}))
+    seller_states.append(frozenset())  # status quo
+    for paid in seller_paid_any:
+        seller_states.append(frozenset({paid}))  # windfall
+    seller_states.append(frozenset({deliver, returned}))  # goods returned
+    # §2.3: the refunded-payment outcome is acceptable to the producer too
+    # ("any of the first three states are acceptable").
+    seller_states.append(frozenset({pay_act, refund}))
+
+    specs = {
+        customer: AcceptanceSpec(customer, tuple(customer_states), preferred_customer),
+        seller: AcceptanceSpec(seller, tuple(seller_states), preferred_seller),
+    }
+    if via is not None:
+        forward_good = give(via, customer, good)
+        forward_pay = pay(via, seller, price)
+        complete = frozenset({deliver, pay_act, forward_good, forward_pay})
+        back_out_money = frozenset({pay_act, refund})
+        back_out_good = frozenset({deliver, returned})
+        specs[via] = AcceptanceSpec(
+            via,
+            (complete, frozenset(), back_out_money, back_out_good),
+            complete,
+        )
+    return specs

@@ -1,0 +1,87 @@
+"""Trust relations between parties (paper §1, §2.5, §4.2.3).
+
+Trust is a *directed*, not necessarily symmetric, relation: "one party can
+trust another without being trusted by it, and the asymmetry can directly
+affect the ultimate feasibility of transactions" (§4.2.3).  Two forms matter
+here:
+
+* **Trust in an intermediary** — implicit in the interaction graph: an edge
+  ``(p, t)`` exists only if principal *p* trusts component *t*.
+* **Direct trust between principals** — recorded in :class:`TrustRelation`.
+  When principal *q* directly trusts principal *p*, *p* may "play the role"
+  of the trusted agent in their exchange (a *persona*, §3/§4.2.3), which
+  waives the red-edge pre-emption in Reduction Rule #1 clause 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.core.parties import Party
+from repro.errors import ModelError
+
+
+@dataclass
+class TrustRelation:
+    """A mutable set of directed ``truster -> trustee`` trust edges.
+
+    >>> from repro.core.parties import broker, producer
+    >>> b, p = broker("b1"), producer("s1")
+    >>> rel = TrustRelation()
+    >>> rel.add(p, b)      # source s1 trusts broker b1 ...
+    >>> rel.trusts(p, b)
+    True
+    >>> rel.trusts(b, p)   # ... but not conversely (asymmetry, §4.2.3)
+    False
+    """
+
+    _edges: set[tuple[Party, Party]] = field(default_factory=set)
+
+    @classmethod
+    def of(cls, pairs: Iterable[tuple[Party, Party]]) -> "TrustRelation":
+        """Build a relation from ``(truster, trustee)`` pairs."""
+        relation = cls()
+        for truster, trustee in pairs:
+            relation.add(truster, trustee)
+        return relation
+
+    def add(self, truster: Party, trustee: Party) -> None:
+        """Record that *truster* directly trusts *trustee*."""
+        if truster == trustee:
+            raise ModelError(f"{truster.name} trusting itself is vacuous and not recorded")
+        self._edges.add((truster, trustee))
+
+    def add_mutual(self, a: Party, b: Party) -> None:
+        """Record symmetric trust between *a* and *b*."""
+        self.add(a, b)
+        self.add(b, a)
+
+    def remove(self, truster: Party, trustee: Party) -> None:
+        """Delete a trust edge; missing edges are ignored."""
+        self._edges.discard((truster, trustee))
+
+    def trusts(self, truster: Party, trustee: Party) -> bool:
+        """Whether *truster* directly trusts *trustee*."""
+        return (truster, trustee) in self._edges
+
+    def trustees_of(self, truster: Party) -> frozenset[Party]:
+        """Every party directly trusted by *truster*."""
+        return frozenset(b for a, b in self._edges if a == truster)
+
+    def trusters_of(self, trustee: Party) -> frozenset[Party]:
+        """Every party that directly trusts *trustee*."""
+        return frozenset(a for a, b in self._edges if b == trustee)
+
+    def copy(self) -> "TrustRelation":
+        """An independent copy of this relation."""
+        return TrustRelation(set(self._edges))
+
+    def __iter__(self) -> Iterator[tuple[Party, Party]]:
+        return iter(sorted(self._edges))
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __contains__(self, pair: tuple[Party, Party]) -> bool:
+        return pair in self._edges

@@ -1,0 +1,19 @@
+"""Distributed reduction (§9 future work): each participant locally decides
+its part of the feasibility computation, exchanging edge-removal
+notifications.  Equivalent to the centralized engine (tested)."""
+
+from repro.distributed.engine import (
+    DistributedReduction,
+    DistributedTrace,
+    EdgeRemoved,
+    LocalAgent,
+    distributed_reduce,
+)
+
+__all__ = [
+    "DistributedReduction",
+    "DistributedTrace",
+    "EdgeRemoved",
+    "LocalAgent",
+    "distributed_reduce",
+]

@@ -1,0 +1,28 @@
+"""Petri-net substrate (§7.4): nets, bounded coverability, and the
+exchange-problem translation whose coverability verdict mirrors the
+sequencing-graph feasibility test."""
+
+from repro.petri.net import Marking, PetriNet, Transition
+from repro.petri.reachability import (
+    CoverabilityResult,
+    coverable,
+    fire_sequence,
+    guided_coverability,
+    reachable_markings,
+    saturate,
+)
+from repro.petri.translate import exchange_completable, translate
+
+__all__ = [
+    "Marking",
+    "PetriNet",
+    "Transition",
+    "CoverabilityResult",
+    "coverable",
+    "guided_coverability",
+    "saturate",
+    "fire_sequence",
+    "reachable_markings",
+    "exchange_completable",
+    "translate",
+]

@@ -1,0 +1,138 @@
+"""A small place/transition Petri net (§7.4).
+
+Plain P/T nets with weighted arcs and multiset markings — enough to encode
+exchange problems (see :mod:`repro.petri.translate`) and run the bounded
+coverability search of :mod:`repro.petri.reachability`.  Markings are
+immutable and hashable so the search can memoize them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class Marking:
+    """An immutable multiset of tokens: place name → count (> 0 only)."""
+
+    counts: tuple[tuple[str, int], ...] = ()
+
+    @classmethod
+    def of(cls, mapping: Mapping[str, int]) -> "Marking":
+        for place, count in mapping.items():
+            if count < 0:
+                raise ModelError(f"negative token count for {place!r}")
+        return cls(tuple(sorted((p, c) for p, c in mapping.items() if c > 0)))
+
+    def get(self, place: str) -> int:
+        for name, count in self.counts:
+            if name == place:
+                return count
+        return 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.counts)
+
+    def covers(self, other: "Marking") -> bool:
+        """Whether this marking has at least *other*'s tokens everywhere."""
+        return all(self.get(place) >= count for place, count in other.counts)
+
+    def add(self, delta: Mapping[str, int]) -> "Marking":
+        merged = self.as_dict()
+        for place, count in delta.items():
+            merged[place] = merged.get(place, 0) + count
+        return Marking.of(merged)
+
+    def clamp(self, bound: int) -> "Marking":
+        """Cap every count at *bound* (the coverability approximation)."""
+        return Marking.of({p: min(c, bound) for p, c in self.counts})
+
+    def __str__(self) -> str:
+        if not self.counts:
+            return "{}"
+        return "{" + ", ".join(f"{p}:{c}" for p, c in self.counts) + "}"
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A transition with weighted input and output arcs."""
+
+    name: str
+    consumes: tuple[tuple[str, int], ...]
+    produces: tuple[tuple[str, int], ...]
+
+    @classmethod
+    def make(
+        cls,
+        name: str,
+        consumes: Mapping[str, int] | Iterable[str],
+        produces: Mapping[str, int] | Iterable[str],
+    ) -> "Transition":
+        def normalize(spec) -> tuple[tuple[str, int], ...]:
+            if isinstance(spec, Mapping):
+                items = spec.items()
+            else:
+                counted: dict[str, int] = {}
+                for place in spec:
+                    counted[place] = counted.get(place, 0) + 1
+                items = counted.items()
+            normalized = tuple(sorted((p, c) for p, c in items if c > 0))
+            return normalized
+
+        return cls(name, normalize(consumes), normalize(produces))
+
+    def enabled(self, marking: Marking) -> bool:
+        """Whether every input place holds enough tokens."""
+        return all(marking.get(place) >= count for place, count in self.consumes)
+
+    def fire(self, marking: Marking) -> Marking:
+        """The successor marking (caller must check :meth:`enabled`)."""
+        if not self.enabled(marking):
+            raise ModelError(f"transition {self.name!r} is not enabled")
+        delta: dict[str, int] = {}
+        for place, count in self.consumes:
+            delta[place] = delta.get(place, 0) - count
+        for place, count in self.produces:
+            delta[place] = delta.get(place, 0) + count
+        return marking.add(delta)
+
+    def __str__(self) -> str:
+        def render(arcs):
+            return " + ".join(
+                (f"{c}·{p}" if c > 1 else p) for p, c in arcs
+            ) or "∅"
+
+        return f"{self.name}: {render(self.consumes)} -> {render(self.produces)}"
+
+
+class PetriNet:
+    """A net: named places (implicit), transitions, and an initial marking."""
+
+    def __init__(self, transitions: Iterable[Transition], initial: Marking) -> None:
+        self.transitions: tuple[Transition, ...] = tuple(transitions)
+        names = [t.name for t in self.transitions]
+        if len(names) != len(set(names)):
+            raise ModelError("duplicate transition names")
+        self.initial = initial
+
+    @property
+    def places(self) -> frozenset[str]:
+        """Every place mentioned by an arc or the initial marking."""
+        result = {place for place, _ in self.initial.counts}
+        for transition in self.transitions:
+            result.update(p for p, _ in transition.consumes)
+            result.update(p for p, _ in transition.produces)
+        return frozenset(result)
+
+    def enabled_transitions(self, marking: Marking) -> list[Transition]:
+        """All transitions enabled at *marking*, in declaration order."""
+        return [t for t in self.transitions if t.enabled(marking)]
+
+    def __str__(self) -> str:
+        lines = [f"PetriNet(|P|={len(self.places)}, |T|={len(self.transitions)})"]
+        lines.append(f"  initial: {self.initial}")
+        lines.extend(f"  {t}" for t in self.transitions)
+        return "\n".join(lines)

@@ -1,0 +1,193 @@
+"""Bounded coverability search.
+
+General Petri-net coverability was an open algorithmic frontier when the
+paper appeared (§7.4 calls plain coverability "still an open problem" for
+their purposes); the nets produced by :mod:`repro.petri.translate` are small
+and effectively bounded, so a clamped breadth-first search suffices: token
+counts are capped at a small bound (assurance places are self-replenishing
+and would otherwise grow without limit), making the state space finite while
+preserving coverability of targets whose demands stay within the bound.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.petri.net import Marking, PetriNet, Transition
+
+
+@dataclass(frozen=True)
+class CoverabilityResult:
+    """Outcome of a coverability query."""
+
+    coverable: bool
+    witness: tuple[str, ...]  # transition names on a covering path
+    states_explored: int
+    truncated: bool  # hit the state cap before deciding
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.coverable
+
+
+def coverable(
+    net: PetriNet,
+    target: Marking,
+    bound: int = 3,
+    max_states: int = 200_000,
+) -> CoverabilityResult:
+    """Breadth-first clamped search for a marking covering *target*.
+
+    ``bound`` caps per-place token counts (sound for targets demanding at
+    most ``bound`` tokens per place); ``max_states`` caps exploration, with
+    ``truncated=True`` signalling an inconclusive negative.
+    """
+    if any(count > bound for _, count in target.counts):
+        raise ModelError(
+            f"target demands more than bound={bound} tokens on some place"
+        )
+    start = net.initial.clamp(bound)
+    if start.covers(target):
+        return CoverabilityResult(True, (), 1, False)
+
+    seen: set[Marking] = {start}
+    frontier: deque[tuple[Marking, tuple[str, ...]]] = deque([(start, ())])
+    explored = 0
+    while frontier:
+        marking, path = frontier.popleft()
+        explored += 1
+        if explored > max_states:
+            return CoverabilityResult(False, (), explored, True)
+        for transition in net.transitions:
+            if not transition.enabled(marking):
+                continue
+            successor = transition.fire(marking).clamp(bound)
+            if successor in seen:
+                continue
+            new_path = path + (transition.name,)
+            if successor.covers(target):
+                return CoverabilityResult(True, new_path, explored, False)
+            seen.add(successor)
+            frontier.append((successor, new_path))
+    return CoverabilityResult(False, (), explored, False)
+
+
+def saturate(net: PetriNet) -> tuple[frozenset[str], frozenset[str]]:
+    """Monotone over-approximation: (markable places, fireable transitions).
+
+    A place is markable if initially marked or produced by some fireable
+    transition; a transition is fireable if all its inputs are markable.
+    Ignores token consumption, so a negative answer ("target place never
+    markable") is sound, while a positive one needs a concrete witness —
+    see :func:`guided_coverability`.
+    """
+    markable = {place for place, _ in net.initial.counts}
+    fireable: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for transition in net.transitions:
+            if transition.name in fireable:
+                continue
+            if all(place in markable for place, _ in transition.consumes):
+                fireable.add(transition.name)
+                for place, _ in transition.produces:
+                    if place not in markable:
+                        markable.add(place)
+                changed = True
+    return frozenset(markable), frozenset(fireable)
+
+
+def guided_coverability(net: PetriNet, target: Marking) -> CoverabilityResult:
+    """Witness search specialized to the exchange nets of ``translate``.
+
+    Scheduler: keep minting assurances (``assure:*`` self-loops fire when
+    their assured place is empty), fire any enabled non-complete transition,
+    and only then fire ``complete:*`` transitions — deferring completions
+    keeps deposits readable by assure transitions, which is always safe for
+    these nets.  Every step is a real firing, so a positive answer is a
+    genuine witness; a negative answer is confirmed against
+    :func:`saturate` (sound) and only then returned.
+    """
+    marking = net.initial
+    path: list[str] = []
+    fired_once: set[str] = set()
+    explored = 0
+    progress = True
+    while progress:
+        if marking.covers(target):
+            return CoverabilityResult(True, tuple(path), explored, False)
+        progress = False
+        for transition in net.transitions:
+            explored += 1
+            name = transition.name
+            if not transition.enabled(marking):
+                continue
+            if name.startswith("assure:"):
+                assured_place = next(p for p, _ in transition.produces if p.startswith("assured:"))
+                if marking.get(assured_place) > 0:
+                    continue
+            elif name.startswith("complete:"):
+                continue  # deferred to the fallback phase below
+            elif name in fired_once:
+                continue
+            marking = transition.fire(marking)
+            fired_once.add(name)
+            path.append(name)
+            progress = True
+            break
+        if progress:
+            continue
+        for transition in net.transitions:
+            name = transition.name
+            if (
+                name.startswith("complete:")
+                and name not in fired_once
+                and transition.enabled(marking)
+            ):
+                marking = transition.fire(marking)
+                fired_once.add(name)
+                path.append(name)
+                progress = True
+                break
+    if marking.covers(target):
+        return CoverabilityResult(True, tuple(path), explored, False)
+    markable, _ = saturate(net)
+    missing_unmarkable = any(place not in markable for place, _ in target.counts)
+    if missing_unmarkable:
+        return CoverabilityResult(False, (), explored, False)
+    # The greedy schedule stalled but saturation cannot rule coverage out:
+    # fall back to the exact bounded search.
+    return coverable(net, target, bound=1, max_states=500_000)
+
+
+def reachable_markings(
+    net: PetriNet, bound: int = 3, max_states: int = 200_000
+) -> set[Marking]:
+    """All clamped markings reachable from the initial one (for tests)."""
+    start = net.initial.clamp(bound)
+    seen = {start}
+    frontier = deque([start])
+    while frontier:
+        if len(seen) > max_states:
+            raise ModelError(f"state space exceeds max_states={max_states}")
+        marking = frontier.popleft()
+        for transition in net.transitions:
+            if transition.enabled(marking):
+                successor = transition.fire(marking).clamp(bound)
+                if successor not in seen:
+                    seen.add(successor)
+                    frontier.append(successor)
+    return seen
+
+
+def fire_sequence(net: PetriNet, names: list[str]) -> Marking:
+    """Fire transitions by name from the initial marking (test helper)."""
+    by_name: dict[str, Transition] = {t.name: t for t in net.transitions}
+    marking = net.initial
+    for name in names:
+        if name not in by_name:
+            raise ModelError(f"unknown transition {name!r}")
+        marking = by_name[name].fire(marking)
+    return marking

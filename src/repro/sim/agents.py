@@ -1,0 +1,164 @@
+"""Principal agents: honest role-followers and adversaries.
+
+An honest principal executes its synthesized :class:`PrincipalRole`: it
+fires each instruction, in order, as soon as every precondition has been
+locally observed (a transfer delivered to it or a notify addressed to it)
+and the ledger confirms it holds the asset.
+
+Adversaries deviate in the two ways the paper worries about:
+
+* :class:`Withholder` — performs the first *perform* instructions then
+  reneges (the publisher that keeps the money, the customer that refuses to
+  pay);
+* :class:`WrongItemSender` — substitutes a bogus item for a promised
+  document (the publisher that "might provide an incorrect document", §1).
+
+The point of the safety benchmarks is that under the synthesized protocol
+*no honest party is harmed* whatever these adversaries do, whereas naive
+direct exchange harms someone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.actions import Action, transfer
+from repro.core.items import Document, Item
+from repro.core.parties import Party
+from repro.core.protocol import PrincipalRole
+
+
+class PrincipalAgent:
+    """Base class: a principal attached to a runtime (see runtime.py)."""
+
+    def __init__(self, party: Party, role: PrincipalRole, runtime) -> None:
+        self.party = party
+        self.role = role
+        self.runtime = runtime
+        self.observed: set[Action] = set()
+        self.sent: list[Action] = []
+        self._next_instruction = 0
+
+    def start(self) -> None:
+        """Called once when the simulation begins."""
+        self._try_fire()
+
+    def receive(self, action: Action) -> None:
+        """Called by the network for every action delivered to this party.
+
+        Observations are normalized (deadline stripped) before matching
+        against instruction guards: the synthesized preconditions are
+        deadline-free, while live notifies carry their §2.5 expiry stamp.
+        """
+        self.observed.add(replace(action, deadline=None))
+        self._try_fire()
+
+    # ------------------------------------------------------------ scheduling
+
+    def _try_fire(self) -> None:
+        """Fire instructions in order while their guards are satisfied."""
+        while self._next_instruction < len(self.role.instructions):
+            instruction = self.role.instructions[self._next_instruction]
+            if not instruction.ready(self.observed):
+                return
+            if not self._permits(self._next_instruction, instruction.action):
+                return
+            action = self._transform(instruction.action)
+            if action is not None:
+                if not self.runtime.ledger.can_transfer(
+                    self.party, action.item
+                ):
+                    return  # wait until the asset arrives
+                self._send(action)
+                self.sent.append(action)
+            self._next_instruction += 1
+
+    # ------------------------------------------------------------- extension
+
+    def _permits(self, position: int, action: Action) -> bool:
+        """Whether this agent is willing to perform instruction *position*."""
+        return True
+
+    def _transform(self, action: Action) -> Action | None:
+        """Rewrite the action before sending (None = silently skip)."""
+        return action
+
+    def _send(self, action: Action) -> None:
+        """Dispatch the action (subclasses may delay it)."""
+        self.runtime.transmit(action)
+
+
+class HonestPrincipal(PrincipalAgent):
+    """Follows the synthesized role to the letter."""
+
+
+@dataclass(frozen=True)
+class AdversaryStrategy:
+    """How a deviating principal deviates.
+
+    ``perform`` — number of leading instructions executed honestly before
+    withholding everything else (0 = total no-show).
+    ``substitute`` — map from document label to the bogus item sent instead.
+    """
+
+    perform: int = 0
+    substitute: dict[str, Item] | None = None
+    delay: float = 0.0  # extra think-time before each send (a slow party)
+
+    def describe(self) -> str:
+        parts = [f"performs first {self.perform} instruction(s)"]
+        if self.substitute:
+            swaps = ", ".join(f"{k}->{v}" for k, v in self.substitute.items())
+            parts.append(f"substitutes {swaps}")
+        if self.delay:
+            parts.append(f"delays each send by {self.delay}")
+        return "; ".join(parts)
+
+
+class AdversarialPrincipal(PrincipalAgent):
+    """A principal following an :class:`AdversaryStrategy` instead of its role."""
+
+    def __init__(self, party: Party, role: PrincipalRole, runtime, strategy: AdversaryStrategy):
+        super().__init__(party, role, runtime)
+        self.strategy = strategy
+
+    def _permits(self, position: int, action: Action) -> bool:
+        return position < self.strategy.perform
+
+    def _transform(self, action: Action) -> Action | None:
+        substitute = self.strategy.substitute or {}
+        if action.item is not None and action.item.label in substitute:
+            bogus = substitute[action.item.label]
+            return transfer(action.sender, action.recipient, bogus)
+        return action
+
+    def _send(self, action: Action) -> None:
+        if self.strategy.delay > 0:
+            self.runtime.queue.schedule(
+                self.strategy.delay,
+                lambda: self.runtime.transmit(action),
+                label=f"delayed send by {self.party.name}",
+            )
+        else:
+            self.runtime.transmit(action)
+
+
+def withholder(after: int = 0) -> AdversaryStrategy:
+    """A strategy that reneges after *after* honest instructions."""
+    return AdversaryStrategy(perform=after)
+
+
+def wrong_item_sender(original_label: str, bogus_label: str = "bogus") -> AdversaryStrategy:
+    """A strategy that ships a bogus document instead of *original_label*."""
+    return AdversaryStrategy(
+        perform=10**9, substitute={original_label: Document(bogus_label)}
+    )
+
+
+def slow_party(delay: float) -> AdversaryStrategy:
+    """A party that honours its role but thinks for *delay* before each send.
+
+    Exercises the §2.2/§2.5 temporal semantics: deposits arriving after the
+    trusted component's deadline bounce, and notifications expire.
+    """
+    return AdversaryStrategy(perform=10**9, delay=delay)

@@ -1,0 +1,73 @@
+"""Event queue for the discrete-event simulator.
+
+A deterministic min-heap of timed events.  Ties on time break on a
+monotonically increasing sequence number, so two events scheduled for the
+same instant fire in scheduling order — determinism is what lets every
+simulation test assert exact outcomes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled callback.  Ordering is (time, seq)."""
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self.now = 0.0
+
+    def schedule(self, delay: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule *callback* to run *delay* time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        event = Event(self.now + delay, next(self._counter), callback, label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule *callback* at an absolute time (not before now)."""
+        if time < self.now:
+            raise SimulationError(f"cannot schedule at {time} < now={self.now}")
+        event = Event(time, next(self._counter), callback, label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event | None:
+        """Advance the clock to, and return, the next live event (or None)."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            return event
+        return None
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    @property
+    def empty(self) -> bool:
+        return len(self) == 0

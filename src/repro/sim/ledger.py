@@ -1,0 +1,179 @@
+"""Asset ledger: who holds what, with conservation invariants.
+
+The ledger tracks two asset classes:
+
+* **money** — integer cent balances per party (may be seeded with working
+  capital so solvent brokers can buy before they are paid);
+* **goods** — each document label has exactly one holder at any time.
+
+Every applied transfer moves assets atomically; :meth:`Ledger.check` asserts
+conservation (total money constant, every document singly held), which the
+simulator calls after each delivery — a violated invariant is a bug in the
+harness, not modeled misbehaviour, so it raises :class:`SimulationError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.actions import Action
+from repro.core.interaction import InteractionGraph
+from repro.core.items import Item, Money
+from repro.core.parties import Party
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class LedgerSnapshot:
+    """An immutable view of balances and holdings at one instant."""
+
+    balances: dict[Party, int]
+    holdings: dict[str, Party]  # document label -> holder
+
+    def balance(self, party: Party) -> int:
+        return self.balances.get(party, 0)
+
+    def documents_of(self, party: Party) -> frozenset[str]:
+        return frozenset(label for label, holder in self.holdings.items() if holder == party)
+
+
+class Ledger:
+    """Mutable asset state for one simulation run."""
+
+    def __init__(self) -> None:
+        self._balances: dict[Party, int] = {}
+        self._holdings: dict[str, Party] = {}
+        self._initial_money_total = 0
+        self._sealed = False
+
+    # ------------------------------------------------------------- endowment
+
+    def endow_money(self, party: Party, amount_cents: int) -> None:
+        """Seed *party* with working capital (before the run starts)."""
+        if self._sealed:
+            raise SimulationError("cannot endow after the ledger is sealed")
+        if amount_cents < 0:
+            raise SimulationError("endowments must be non-negative")
+        self._balances[party] = self._balances.get(party, 0) + amount_cents
+        self._initial_money_total += amount_cents
+
+    def endow_document(self, party: Party, label: str) -> None:
+        """Give *party* initial possession of a document."""
+        if self._sealed:
+            raise SimulationError("cannot endow after the ledger is sealed")
+        if label in self._holdings:
+            raise SimulationError(f"document {label!r} already endowed")
+        self._holdings[label] = party
+
+    def seal(self) -> LedgerSnapshot:
+        """Freeze endowments; returns the initial snapshot."""
+        self._sealed = True
+        return self.snapshot()
+
+    # -------------------------------------------------------------- transfer
+
+    def apply(self, action: Action) -> None:
+        """Apply a (possibly inverted) transfer to the ledger.
+
+        Raises :class:`SimulationError` when the effective sender does not
+        hold the asset — the harness must never let that happen; agents that
+        *would* overdraw decline to send instead.
+        """
+        if not action.is_transfer:
+            return  # notifications move no assets
+        assert action.item is not None
+        sender = action.effective_sender
+        recipient = action.effective_recipient
+        self._move(sender, recipient, action.item)
+
+    def _move(self, sender: Party, recipient: Party, item: Item) -> None:
+        if isinstance(item, Money):
+            balance = self._balances.get(sender, 0)
+            if balance < item.cents:
+                raise SimulationError(
+                    f"{sender.name} cannot pay {item}: balance is "
+                    f"{balance / 100:.2f}"
+                )
+            self._balances[sender] = balance - item.cents
+            self._balances[recipient] = self._balances.get(recipient, 0) + item.cents
+        else:
+            holder = self._holdings.get(item.label)
+            if holder != sender:
+                raise SimulationError(
+                    f"{sender.name} cannot give {item.label!r}: held by "
+                    f"{holder.name if holder else 'nobody'}"
+                )
+            self._holdings[item.label] = recipient
+
+    # ----------------------------------------------------------------- query
+
+    def can_transfer(self, party: Party, item: Item) -> bool:
+        """Whether *party* currently holds *item* (or the funds)."""
+        if isinstance(item, Money):
+            return self._balances.get(party, 0) >= item.cents
+        return self._holdings.get(item.label) == party
+
+    def balance(self, party: Party) -> int:
+        """Money balance of *party* in cents."""
+        return self._balances.get(party, 0)
+
+    def holder(self, label: str) -> Party | None:
+        """Current holder of a document label."""
+        return self._holdings.get(label)
+
+    def documents_of(self, party: Party) -> frozenset[str]:
+        """Labels of all documents currently held by *party*."""
+        return frozenset(l for l, h in self._holdings.items() if h == party)
+
+    def snapshot(self) -> LedgerSnapshot:
+        """An immutable copy of the current state."""
+        return LedgerSnapshot(dict(self._balances), dict(self._holdings))
+
+    # ------------------------------------------------------------- invariant
+
+    def check(self) -> None:
+        """Assert conservation; raises :class:`SimulationError` on violation."""
+        total = sum(self._balances.values())
+        if total != self._initial_money_total:
+            raise SimulationError(
+                f"money not conserved: {total} != {self._initial_money_total}"
+            )
+        for party, balance in self._balances.items():
+            if balance < 0:
+                raise SimulationError(f"{party.name} has negative balance {balance}")
+
+
+def endow_from_interaction(
+    ledger: Ledger,
+    interaction: InteractionGraph,
+    working_capital_cents: int = 0,
+    extra_money: dict[Party, int] | None = None,
+) -> None:
+    """Seed a ledger from an interaction graph.
+
+    Each principal receives the money it is due to pay out (it is solvent,
+    matching §5's assumption) plus optional *working_capital_cents*; each
+    document is endowed to its original owner — the principal that provides
+    it without expecting to receive it first (producers, not resellers).
+    """
+    extra_money = extra_money or {}
+    for principal in interaction.principals:
+        outlay = sum(
+            e.provides.cents
+            for e in interaction.edges
+            if e.principal == principal and isinstance(e.provides, Money)
+        )
+        ledger.endow_money(
+            principal,
+            outlay + working_capital_cents + extra_money.get(principal, 0),
+        )
+    for edge in interaction.edges:
+        if isinstance(edge.provides, Money):
+            continue
+        incoming = any(
+            interaction.expects(other) == edge.provides
+            for other in interaction.edges
+            if other.principal == edge.principal and other != edge
+        )
+        if not incoming and ledger.holder(edge.provides.label) is None:
+            ledger.endow_document(edge.principal, edge.provides.label)

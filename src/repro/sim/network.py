@@ -1,0 +1,79 @@
+"""Message transport for the simulator.
+
+Every communication in the model *is* an action (a transfer or a notify), so
+the network carries :class:`~repro.core.actions.Action` payloads.  Delivery
+is reliable and FIFO per sender with a configurable fixed latency; loss and
+misbehaviour are modeled at the *agent* level (an adversary that never sends)
+rather than the transport level, matching the paper's failure model — parties
+renege, wires do not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.actions import Action
+from repro.core.parties import Party
+from repro.errors import SimulationError
+from repro.sim.events import EventQueue
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """One delivered message: when it was sent, when it arrived, what it was."""
+
+    sent_at: float
+    delivered_at: float
+    action: Action
+
+
+@dataclass
+class NetworkStats:
+    """Counters the §8 cost analysis reads off after a run."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    transfers: int = 0
+    notifies: int = 0
+    by_sender: dict[Party, int] = field(default_factory=dict)
+
+
+class Network:
+    """Schedules action deliveries on the shared event queue."""
+
+    def __init__(self, queue: EventQueue, latency: float = 1.0) -> None:
+        if latency < 0:
+            raise SimulationError("latency must be non-negative")
+        self.queue = queue
+        self.latency = latency
+        self.stats = NetworkStats()
+        self.log: list[Delivery] = []
+        self._handlers: dict[Party, Callable[[Action], None]] = {}
+
+    def register(self, party: Party, handler: Callable[[Action], None]) -> None:
+        """Attach the node that receives messages addressed to *party*."""
+        if party in self._handlers:
+            raise SimulationError(f"{party.name} is already registered on the network")
+        self._handlers[party] = handler
+
+    def send(self, action: Action) -> None:
+        """Send *action* to its effective recipient after the latency."""
+        recipient = action.effective_recipient
+        if recipient not in self._handlers:
+            raise SimulationError(f"no node registered for {recipient.name}")
+        sent_at = self.queue.now
+        sender = action.effective_sender
+        self.stats.messages_sent += 1
+        self.stats.by_sender[sender] = self.stats.by_sender.get(sender, 0) + 1
+        if action.is_transfer:
+            self.stats.transfers += 1
+        else:
+            self.stats.notifies += 1
+
+        def deliver() -> None:
+            self.stats.messages_delivered += 1
+            self.log.append(Delivery(sent_at, self.queue.now, action))
+            self._handlers[recipient](action)
+
+        self.queue.schedule(self.latency, deliver, label=str(action))

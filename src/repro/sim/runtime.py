@@ -1,0 +1,223 @@
+"""Simulation runtime: wire a synthesized protocol to agents and run it.
+
+:class:`Simulation` builds the whole apparatus for one exchange problem —
+event queue, network, ledger with endowments, one agent per party — runs to
+quiescence, and returns a :class:`SimulationResult` with the delivery log,
+ledger snapshots, and network statistics.  Asset movements are applied to the
+ledger at *send* time (an asset is never in two places), and conservation is
+checked after every movement.
+
+Adversaries are injected per party name; their bogus substitute documents are
+endowed automatically so a cheat physically *can* ship the wrong item.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.actions import Action
+from repro.core.execution import recover_execution
+from repro.core.indemnity import IndemnityPlan, apply_plan
+from repro.core.parties import Party
+from repro.core.problem import ExchangeProblem
+from repro.core.protocol import Protocol, synthesize_protocol
+from repro.core.states import ExchangeState
+from repro.errors import SimulationError
+from repro.sim.agents import (
+    AdversarialPrincipal,
+    AdversaryStrategy,
+    HonestPrincipal,
+    PrincipalAgent,
+)
+from repro.sim.events import EventQueue
+from repro.sim.ledger import Ledger, LedgerSnapshot, endow_from_interaction
+from repro.sim.network import Network, NetworkStats
+from repro.sim.trusted_agent import TrustedAgent
+
+
+@dataclass
+class SimulationResult:
+    """Everything observable after one run."""
+
+    problem_name: str
+    duration: float
+    initial: LedgerSnapshot
+    final: LedgerSnapshot
+    stats: NetworkStats
+    delivered: list[Action] = field(default_factory=list)
+    completed_agents: frozenset[Party] = frozenset()
+    reversed_agents: frozenset[Party] = frozenset()
+
+    @property
+    def global_state(self) -> ExchangeState:
+        """The run's final state as a §2.3 action set."""
+        return ExchangeState.of(self.delivered)
+
+    def money_delta(self, party: Party) -> int:
+        """Final minus initial balance of *party*, in cents."""
+        return self.final.balance(party) - self.initial.balance(party)
+
+    def documents_gained(self, party: Party) -> frozenset[str]:
+        return self.final.documents_of(party) - self.initial.documents_of(party)
+
+    def documents_lost(self, party: Party) -> frozenset[str]:
+        return self.initial.documents_of(party) - self.final.documents_of(party)
+
+
+class Simulation:
+    """One runnable instance of an exchange protocol."""
+
+    def __init__(
+        self,
+        problem: ExchangeProblem,
+        protocol: Protocol,
+        adversaries: dict[str, AdversaryStrategy] | None = None,
+        latency: float = 1.0,
+        working_capital_cents: int = 0,
+    ) -> None:
+        self.problem = problem
+        self.protocol = protocol
+        self.queue = EventQueue()
+        self.network = Network(self.queue, latency=latency)
+        self.ledger = Ledger()
+        adversaries = adversaries or {}
+
+        escrow_needs: dict[Party, int] = {}
+        for spec in protocol.trusted_specs.values():
+            for offer in spec.indemnities:
+                escrow_needs[offer.offeror] = (
+                    escrow_needs.get(offer.offeror, 0) + offer.amount_cents
+                )
+        endow_from_interaction(
+            self.ledger,
+            problem.interaction,
+            working_capital_cents=working_capital_cents,
+            extra_money=escrow_needs,
+        )
+
+        self.principals: dict[Party, PrincipalAgent] = {}
+        for party in problem.interaction.principals:
+            role = protocol.role_of(party)
+            strategy = adversaries.get(party.name)
+            if strategy is None:
+                agent: PrincipalAgent = HonestPrincipal(party, role, self)
+            else:
+                agent = AdversarialPrincipal(party, role, self, strategy)
+                for bogus in (strategy.substitute or {}).values():
+                    if not bogus.is_money and self.ledger.holder(bogus.label) is None:
+                        self.ledger.endow_document(party, bogus.label)
+            self.principals[party] = agent
+            self.network.register(party, agent.receive)
+
+        self.trusted: dict[Party, TrustedAgent] = {}
+        for agent_party, spec in protocol.trusted_specs.items():
+            node = TrustedAgent(spec, self)
+            self.trusted[agent_party] = node
+            self.network.register(agent_party, node.receive)
+
+        self.initial = self.ledger.seal()
+        self._delivered: list[Action] = []
+        self.network.log = _LoggingList(self._delivered)  # type: ignore[assignment]
+
+    # ----------------------------------------------------------- construction
+
+    @classmethod
+    def from_problem(
+        cls,
+        problem: ExchangeProblem,
+        adversaries: dict[str, AdversaryStrategy] | None = None,
+        latency: float = 1.0,
+        deadline: float | None = None,
+        working_capital_cents: int = 0,
+    ) -> "Simulation":
+        """Synthesize the protocol for a feasible problem and wire it up."""
+        sequence = problem.execution_sequence()
+        protocol = synthesize_protocol(
+            problem.interaction, sequence, problem.name, deadline=deadline
+        )
+        return cls(problem, protocol, adversaries, latency, working_capital_cents)
+
+    @classmethod
+    def from_plan(
+        cls,
+        problem: ExchangeProblem,
+        plan: IndemnityPlan,
+        adversaries: dict[str, AdversaryStrategy] | None = None,
+        latency: float = 1.0,
+        deadline: float | None = None,
+        working_capital_cents: int = 0,
+    ) -> "Simulation":
+        """Wire up an indemnity-unlocked exchange (§6)."""
+        base = recover_execution(plan.verdict.trace)
+        sequence = apply_plan(plan, base)
+        protocol = synthesize_protocol(
+            problem.interaction,
+            sequence,
+            problem.name,
+            deadline=deadline,
+            indemnities=plan.offers,
+        )
+        return cls(problem, protocol, adversaries, latency, working_capital_cents)
+
+    # ------------------------------------------------------------------- run
+
+    def transmit(self, action: Action) -> None:
+        """Move the asset on the ledger and put the message on the wire."""
+        self.ledger.apply(action)
+        self.ledger.check()
+        self.network.send(action)
+
+    def run(self, max_time: float = math.inf) -> SimulationResult:
+        """Run to quiescence (or *max_time*) and summarize."""
+        for agent in self.principals.values():
+            agent.start()
+        for node in self.trusted.values():
+            node.start()
+        while True:
+            if self.queue.now > max_time:
+                raise SimulationError(f"simulation exceeded max_time={max_time}")
+            event = self.queue.pop()
+            if event is None:
+                break
+            event.callback()
+        return SimulationResult(
+            problem_name=self.problem.name,
+            duration=self.queue.now,
+            initial=self.initial,
+            final=self.ledger.snapshot(),
+            stats=self.network.stats,
+            delivered=list(self._delivered),
+            completed_agents=frozenset(
+                p for p, node in self.trusted.items() if node.completed
+            ),
+            reversed_agents=frozenset(
+                p for p, node in self.trusted.items() if node.reversed
+            ),
+        )
+
+
+class _LoggingList(list):
+    """Adapter: the network appends Delivery records; we keep bare actions."""
+
+    def __init__(self, sink: list[Action]) -> None:
+        super().__init__()
+        self._sink = sink
+
+    def append(self, delivery) -> None:  # type: ignore[override]
+        super().append(delivery)
+        self._sink.append(delivery.action)
+
+
+def simulate(
+    problem: ExchangeProblem,
+    adversaries: dict[str, AdversaryStrategy] | None = None,
+    latency: float = 1.0,
+    deadline: float | None = 100.0,
+    working_capital_cents: int = 0,
+) -> SimulationResult:
+    """One-call convenience: synthesize, simulate, summarize."""
+    sim = Simulation.from_problem(
+        problem, adversaries, latency, deadline, working_capital_cents
+    )
+    return sim.run()

@@ -1,0 +1,200 @@
+"""Safety monitor: did every honest party end acceptably?
+
+The paper's guarantee (§1, §2.3): in a feasible exchange executed per the
+recovered sequence, "no participant ever risks losing money or goods without
+receiving everything promised in exchange".  This module operationalizes the
+§2.3 acceptance structure against a simulation's ledger and delivery log:
+
+* **Per-exchange atomicity** — for each interaction edge of a principal
+  (provide ``out`` via *t*, expect ``in``): either the principal never
+  permanently gave ``out`` (it kept it, or it was returned), or it received
+  ``in``.  This captures the four acceptable states of §2.3 (complete,
+  status quo, refund, windfall) and rejects exactly the bad ones (gave and
+  got nothing).
+* **Bundle atomicity** — a principal with an all-or-nothing conjunction
+  (§4.1 second type) additionally requires: every expected document arrived,
+  or its net un-refunded outlay across the bundle is covered by indemnity
+  forfeits it collected (§6's "enough money from Broker #1's penalty to
+  offset the cost of document #2").
+
+Trusted components are checked for neutrality: they end with exactly what
+they started (they are conduits, §2.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.actions import Action
+from repro.core.indemnity import splittable_conjunctions
+from repro.core.interaction import InteractionEdge
+from repro.core.items import Money
+from repro.core.parties import Party
+from repro.core.problem import ExchangeProblem
+from repro.sim.runtime import SimulationResult
+
+
+@dataclass(frozen=True)
+class EdgeOutcome:
+    """How one interaction edge ended for its principal."""
+
+    edge: InteractionEdge
+    gave_permanently: bool
+    received_expected: bool
+
+    @property
+    def ok(self) -> bool:
+        return (not self.gave_permanently) or self.received_expected
+
+
+@dataclass(frozen=True)
+class PartyVerdict:
+    """The safety verdict for one party."""
+
+    party: Party
+    ok: bool
+    reasons: tuple[str, ...]
+    money_delta_cents: int
+    forfeits_received_cents: int
+
+
+@dataclass(frozen=True)
+class SafetyReport:
+    """Aggregated verdicts for one simulation run."""
+
+    problem_name: str
+    verdicts: tuple[PartyVerdict, ...]
+
+    def verdict_of(self, name: str) -> PartyVerdict:
+        for verdict in self.verdicts:
+            if verdict.party.name == name:
+                return verdict
+        raise KeyError(name)
+
+    def honest_parties_safe(self, adversary_names: frozenset[str] = frozenset()) -> bool:
+        """Whether every non-adversarial party ended acceptably."""
+        return all(
+            v.ok for v in self.verdicts if v.party.name not in adversary_names
+        )
+
+    def describe(self) -> list[str]:
+        lines = [f"safety report for {self.problem_name}:"]
+        for v in self.verdicts:
+            status = "OK " if v.ok else "BAD"
+            lines.append(
+                f"  [{status}] {v.party.name}: Δmoney={v.money_delta_cents / 100:+.2f}"
+                + ("" if v.ok else f" ({'; '.join(v.reasons)})")
+            )
+        return lines
+
+
+def _delivered_pairs(delivered: list[Action]) -> list[Action]:
+    return [a for a in delivered if a.is_transfer]
+
+
+def _gave_permanently(edge: InteractionEdge, transfers: list[Action]) -> bool:
+    """Deposit delivered to the trusted component and never reversed."""
+    deposit = None
+    for action in transfers:
+        if (
+            not action.inverted
+            and action.sender == edge.principal
+            and action.recipient == edge.trusted
+            and action.item == edge.provides
+        ):
+            deposit = action
+    if deposit is None:
+        return False
+    return deposit.inverse() not in transfers
+
+
+def _received_expected(
+    problem: ExchangeProblem, edge: InteractionEdge, transfers: list[Action]
+) -> bool:
+    expected = problem.interaction.expects(edge)
+    for action in transfers:
+        if action.inverted:
+            continue
+        if action.effective_recipient == edge.principal and action.item == expected:
+            return True
+    return False
+
+
+def _forfeits_received(party: Party, transfers: list[Action]) -> int:
+    """Indemnity escrow money forwarded (not refunded) to *party*."""
+    total = 0
+    for action in transfers:
+        if action.inverted or not isinstance(action.item, Money):
+            continue
+        if action.effective_recipient == party and "indemnity" in action.item.label:
+            if action.effective_sender.is_trusted:
+                total += action.item.cents
+    return total
+
+
+def evaluate_safety(problem: ExchangeProblem, result: SimulationResult) -> SafetyReport:
+    """Check every party's outcome against the acceptance criteria above."""
+    transfers = _delivered_pairs(result.delivered)
+    bundle_principals = set(splittable_conjunctions(problem))
+    verdicts: list[PartyVerdict] = []
+
+    for principal in problem.interaction.principals:
+        edges = [e for e in problem.interaction.edges if e.principal == principal]
+        reasons: list[str] = []
+        outcomes = [
+            EdgeOutcome(
+                e,
+                _gave_permanently(e, transfers),
+                _received_expected(problem, e, transfers),
+            )
+            for e in edges
+        ]
+        for outcome in outcomes:
+            if not outcome.ok:
+                reasons.append(
+                    f"gave {outcome.edge.provides} via {outcome.edge.trusted.name} "
+                    "without receiving the counterpart"
+                )
+        forfeits = _forfeits_received(principal, transfers)
+        money_delta = result.money_delta(principal)
+        if principal in bundle_principals:
+            all_received = all(o.received_expected for o in outcomes)
+            if not all_received:
+                spent = sum(
+                    o.edge.provides.cents
+                    for o in outcomes
+                    if o.gave_permanently and isinstance(o.edge.provides, Money)
+                )
+                if forfeits < spent:
+                    reasons.append(
+                        f"incomplete bundle: spent {spent / 100:.2f} but collected "
+                        f"only {forfeits / 100:.2f} in forfeits"
+                    )
+        verdicts.append(
+            PartyVerdict(
+                party=principal,
+                ok=not reasons,
+                reasons=tuple(reasons),
+                money_delta_cents=money_delta,
+                forfeits_received_cents=forfeits,
+            )
+        )
+
+    for component in problem.interaction.trusted_components:
+        reasons = []
+        delta = result.money_delta(component)
+        residue = result.final.documents_of(component)
+        if delta != 0:
+            reasons.append(f"conduit retained {delta / 100:+.2f} in money")
+        if residue:
+            reasons.append(f"conduit retained documents {sorted(residue)}")
+        verdicts.append(
+            PartyVerdict(
+                party=component,
+                ok=not reasons,
+                reasons=tuple(reasons),
+                money_delta_cents=delta,
+                forfeits_received_cents=0,
+            )
+        )
+    return SafetyReport(problem_name=problem.name, verdicts=tuple(verdicts))

@@ -1,0 +1,158 @@
+"""The trusted-component agent: §2.5 escrow semantics, mechanized.
+
+A trusted component:
+
+* accepts the deposits its :class:`TrustedExchangeSpec` expects, rejecting
+  (immediately returning) anything else — including an adversary's bogus
+  substitute document, which is how "the third party verifies that the
+  document matches the specification" (§1) is modeled;
+* when all but one deposit is in, notifies the outstanding principal;
+* when the last deposit arrives, *releases*: forwards each deposit to its
+  counterpart, goods before payments;
+* on deadline expiry with the exchange incomplete, reverses every deposit it
+  holds (``give⁻¹``/``pay⁻¹``) and settles indemnities (§6): an escrow is
+  forfeited to the beneficiary when the beneficiary performed but the
+  covered counterpart did not, and refunded to the offeror otherwise.
+
+The agent never originates value: every outgoing asset entered it first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.actions import Action, notify, transfer
+from repro.core.items import Money
+from repro.core.parties import Party
+from repro.core.protocol import TrustedExchangeSpec
+from repro.sim.events import Event
+
+
+class TrustedAgent:
+    """Executes the escrow for one trusted component."""
+
+    def __init__(self, spec: TrustedExchangeSpec, runtime) -> None:
+        self.spec = spec
+        self.party = spec.agent
+        self.runtime = runtime
+        self.received: dict[Party, Action] = {}
+        self.escrows: dict[Party, Action] = {}  # offeror -> escrow deposit
+        self.completed = False
+        self.reversed = False
+        self.notified: set[Party] = set()
+        self.rejected: list[Action] = []
+        self._timeout_event: Event | None = None
+
+    def start(self) -> None:
+        """Nothing to do until a deposit arrives."""
+
+    # --------------------------------------------------------------- receive
+
+    def receive(self, action: Action) -> None:
+        if not action.is_transfer or action.inverted:
+            return  # notifies / stray reversals carry no escrow duty
+        assert action.item is not None
+        sender = action.effective_sender
+        if self._is_escrow(sender, action):
+            self.escrows[sender] = action
+            return
+        expected = dict(self.spec.deposits).get(sender)
+        if (
+            expected is None
+            or action.item != expected
+            or self.completed
+            or self.reversed
+            or sender in self.received
+        ):
+            # Unknown depositor, wrong item, duplicate, or too late: send it
+            # straight back (§2.5: a trusted component may reverse actions
+            # in which it was the recipient).
+            self.rejected.append(action)
+            self.runtime.transmit(action.inverse())
+            return
+        self.received[sender] = action
+        self._arm_timeout()
+        self._progress()
+
+    def _is_escrow(self, sender: Party, action: Action) -> bool:
+        for offer in self.spec.indemnities:
+            if (
+                sender == offer.offeror
+                and isinstance(action.item, Money)
+                and action.item.cents == offer.amount_cents
+                and "indemnity" in action.item.label
+            ):
+                return True
+        return False
+
+    # -------------------------------------------------------------- progress
+
+    def _progress(self) -> None:
+        pending = [p for p, _ in self.spec.deposits if p not in self.received]
+        if not pending:
+            self._complete()
+        elif len(pending) == 1 and pending[0] not in self.notified:
+            self.notified.add(pending[0])
+            # §2.5: the notification carries an expiry — "the earliest
+            # expiration of the other pieces held for the exchange".  If the
+            # notified principal complies before it, completion is assured.
+            expiry = self._timeout_event.time if self._timeout_event else None
+            notice = notify(self.party, pending[0])
+            if expiry is not None:
+                notice = replace(notice, deadline=expiry)
+            self.runtime.transmit(notice)
+
+    def _complete(self) -> None:
+        self.completed = True
+        self._disarm_timeout()
+        releases = [
+            transfer(self.party, principal, item)
+            for principal, item in self.spec.entitlements
+        ]
+        releases.sort(
+            key=lambda a: (isinstance(a.item, Money), a.recipient.name)
+        )
+        for release in releases:
+            self.runtime.transmit(release)
+        for escrow in self.escrows.values():
+            self.runtime.transmit(escrow.inverse())  # refund on success
+        self.escrows.clear()
+
+    # --------------------------------------------------------------- timeout
+
+    def _arm_timeout(self) -> None:
+        if self.spec.deadline is None or self._timeout_event is not None:
+            return
+        self._timeout_event = self.runtime.queue.schedule(
+            self.spec.deadline, self._on_timeout, label=f"timeout@{self.party.name}"
+        )
+
+    def _disarm_timeout(self) -> None:
+        if self._timeout_event is not None:
+            self._timeout_event.cancel()
+            self._timeout_event = None
+
+    def _on_timeout(self) -> None:
+        if self.completed or self.reversed:
+            return
+        self.reversed = True
+        self._settle_indemnities()
+        for deposit in self.received.values():
+            self.runtime.transmit(deposit.inverse())
+        self.received.clear()
+
+    def _settle_indemnities(self) -> None:
+        for offer in self.spec.indemnities:
+            escrow = self.escrows.pop(offer.offeror, None)
+            if escrow is None:
+                continue
+            beneficiary_performed = offer.beneficiary in self.received
+            offeror_performed = offer.offeror in self.received
+            if beneficiary_performed and not offeror_performed:
+                # Forfeit: hand the escrowed sum to the beneficiary.
+                assert escrow.item is not None
+                self.runtime.transmit(
+                    transfer(self.party, offer.beneficiary, escrow.item)
+                )
+            else:
+                self.runtime.transmit(escrow.inverse())

@@ -1,0 +1,192 @@
+"""Semantic analysis of parsed specifications.
+
+The parser guarantees shape; the analyzer guarantees meaning:
+
+* every name is declared exactly once, and principal/trusted namespaces do
+  not collide;
+* exchange blocks reference declared parties, members are principals, the
+  intermediary is trusted, and members of one exchange are distinct;
+* the two sides of a pairwise exchange provide distinct items;
+* ``priority`` statements reference an existing (principal, via) edge;
+* ``trust`` statements reference declared principals and are not reflexive;
+* every declared party participates in at least one exchange.
+
+Errors are :class:`SpecSemanticError` carrying the offending position.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SpecSemanticError
+from repro.spec.ast import ClauseKind, SpecFile
+
+
+def analyze(spec: SpecFile) -> SpecFile:
+    """Validate *spec*; returns it unchanged on success."""
+    _check_declarations(spec)
+    _check_exchanges(spec)
+    _check_priorities(spec)
+    _check_trusts(spec)
+    _check_participation(spec)
+    return spec
+
+
+def _fail(message: str, position) -> None:
+    raise SpecSemanticError(message, line=position.line, column=position.column)
+
+
+def _check_declarations(spec: SpecFile) -> None:
+    seen: dict[str, object] = {}
+    for decl in spec.principals:
+        if decl.name in seen:
+            _fail(f"duplicate declaration of {decl.name!r}", decl.position)
+        seen[decl.name] = decl
+    for decl in spec.trusted:
+        if decl.name in seen:
+            _fail(f"duplicate declaration of {decl.name!r}", decl.position)
+        seen[decl.name] = decl
+
+
+def _check_exchanges(spec: SpecFile) -> None:
+    principals = spec.principal_names()
+    trusted = spec.trusted_names()
+    for exchange in spec.exchanges:
+        if exchange.via not in trusted:
+            _fail(
+                f"exchange intermediary {exchange.via!r} is not a declared "
+                "trusted component",
+                exchange.position,
+            )
+        members: set[str] = set()
+        signatures: set[tuple] = set()
+        for clause in exchange.clauses:
+            if clause.party not in principals:
+                hint = (
+                    " (it is a trusted component)" if clause.party in trusted else ""
+                )
+                _fail(
+                    f"exchange member {clause.party!r} is not a declared principal{hint}",
+                    clause.position,
+                )
+            if clause.party in members:
+                _fail(
+                    f"{clause.party!r} appears twice in the exchange via "
+                    f"{exchange.via!r}",
+                    clause.position,
+                )
+            members.add(clause.party)
+            if clause.kind is ClauseKind.PAYS:
+                signature = ("pays", clause.amount_cents, clause.tag)
+            else:
+                signature = ("gives", clause.item, clause.tag)
+            if signature in signatures:
+                _fail(
+                    "both sides of an exchange provide the same item; "
+                    "use 'tag' to distinguish them or fix the spec",
+                    clause.position,
+                )
+            signatures.add(signature)
+        _check_expects(exchange)
+
+
+def _check_expects(exchange) -> None:
+    """Validate ``expects`` annotations (§9 multi-party entitlement maps)."""
+    if exchange.deadline is not None and exchange.deadline <= 0:
+        _fail("deadlines must be positive", exchange.position)
+    clauses = exchange.clauses
+    with_expects = [c for c in clauses if c.has_expects]
+    if not with_expects:
+        if len(clauses) > 2:
+            _fail(
+                "an exchange with more than two members must annotate every "
+                "clause with 'expects'",
+                exchange.position,
+            )
+        return
+    if len(with_expects) != len(clauses):
+        missing = next(c for c in clauses if not c.has_expects)
+        _fail(
+            f"{missing.party!r} lacks an 'expects' annotation while other "
+            "members of the exchange have one",
+            missing.position,
+        )
+
+    def provision_signature(clause):
+        if clause.kind is ClauseKind.PAYS:
+            return ("pays", clause.amount_cents, clause.tag)
+        return ("gives", clause.item, clause.tag)
+
+    def expects_signature(clause):
+        if clause.expects_amount_cents is not None:
+            return ("pays", clause.expects_amount_cents, clause.expects_tag)
+        return ("gives", clause.expects_item, clause.expects_tag)
+
+    provided = {provision_signature(c): c.party for c in clauses}
+    for clause in clauses:
+        wanted = expects_signature(clause)
+        provider = provided.get(wanted)
+        if provider is None:
+            _fail(
+                f"{clause.party!r} expects something no member deposits",
+                clause.position,
+            )
+        if provider == clause.party:
+            _fail(
+                f"{clause.party!r} expects its own deposit back",
+                clause.position,
+            )
+
+
+def _check_priorities(spec: SpecFile) -> None:
+    edges = {
+        (clause.party, exchange.via)
+        for exchange in spec.exchanges
+        for clause in exchange.clauses
+    }
+    seen: set[tuple[str, str]] = set()
+    for priority in spec.priorities:
+        key = (priority.principal, priority.via)
+        if key not in edges:
+            _fail(
+                f"priority references no exchange edge {priority.principal!r} "
+                f"via {priority.via!r}",
+                priority.position,
+            )
+        if key in seen:
+            _fail(
+                f"duplicate priority for {priority.principal!r} via "
+                f"{priority.via!r}",
+                priority.position,
+            )
+        seen.add(key)
+
+
+def _check_trusts(spec: SpecFile) -> None:
+    declared = spec.principal_names() | spec.trusted_names()
+    for trust in spec.trusts:
+        for name in (trust.truster, trust.trustee):
+            if name not in declared:
+                _fail(
+                    f"trust statement references undeclared party {name!r}",
+                    trust.position,
+                )
+        if trust.truster == trust.trustee:
+            _fail("a party cannot declare trust in itself", trust.position)
+
+
+def _check_participation(spec: SpecFile) -> None:
+    used_principals = {
+        clause.party for exchange in spec.exchanges for clause in exchange.clauses
+    }
+    used_trusted = {exchange.via for exchange in spec.exchanges}
+    for decl in spec.principals:
+        if decl.name not in used_principals:
+            _fail(
+                f"principal {decl.name!r} participates in no exchange",
+                decl.position,
+            )
+    for decl in spec.trusted:
+        if decl.name not in used_trusted:
+            _fail(
+                f"trusted component {decl.name!r} mediates no exchange",
+                decl.position,
+            )

@@ -1,0 +1,237 @@
+"""Recursive-descent parser for the exchange-specification language.
+
+Grammar (keywords lowercase, ``*`` = repetition)::
+
+    spec       := problem? statement*
+    problem    := "problem" (STRING | IDENT)
+    statement  := principal | trusted | exchange | priority | trust
+    principal  := "principal" ("consumer"|"broker"|"producer") IDENT
+    trusted    := "trusted" IDENT
+    exchange   := "exchange" "via" IDENT ("deadline" NUMBER)? "{" clause clause+ "}"
+    clause     := IDENT ("pays" AMOUNT | "gives" IDENT) ("tag" IDENT)? expects?
+    expects    := "expects" (IDENT | AMOUNT) ("tag" IDENT)?
+    priority   := "priority" IDENT "via" IDENT
+    trust      := "trust" IDENT "->" IDENT
+
+All errors are :class:`SpecSyntaxError` with source positions.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SpecSyntaxError
+from repro.spec.ast import (
+    ClauseKind,
+    ExchangeDecl,
+    MemberClause,
+    Position,
+    PrincipalDecl,
+    PrincipalKind,
+    PriorityDecl,
+    SpecFile,
+    TrustDecl,
+    TrustedDecl,
+)
+from repro.spec.lexer import tokenize
+from repro.spec.tokens import Token, TokenType
+
+
+class Parser:
+    """Consumes a token stream and yields a :class:`SpecFile`."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # ------------------------------------------------------------------ util
+
+    def _peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.type is not TokenType.EOF:
+            self._index += 1
+        return token
+
+    def _error(self, message: str, token: Token | None = None) -> SpecSyntaxError:
+        token = token if token is not None else self._peek()
+        return SpecSyntaxError(message, line=token.line, column=token.column)
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._advance()
+        if not token.is_keyword(word):
+            raise self._error(f"expected '{word}', found {token}", token)
+        return token
+
+    def _expect_ident(self, what: str) -> Token:
+        token = self._advance()
+        if token.type is not TokenType.IDENT:
+            raise self._error(f"expected {what}, found {token}", token)
+        return token
+
+    @staticmethod
+    def _pos(token: Token) -> Position:
+        return Position(token.line, token.column)
+
+    # ----------------------------------------------------------------- parse
+
+    def parse(self) -> SpecFile:
+        """Parse the full specification."""
+        name = self._parse_problem_header()
+        principals: list[PrincipalDecl] = []
+        trusted: list[TrustedDecl] = []
+        exchanges: list[ExchangeDecl] = []
+        priorities: list[PriorityDecl] = []
+        trusts: list[TrustDecl] = []
+        while self._peek().type is not TokenType.EOF:
+            token = self._peek()
+            if token.is_keyword("principal"):
+                principals.append(self._parse_principal())
+            elif token.is_keyword("trusted"):
+                trusted.append(self._parse_trusted())
+            elif token.is_keyword("exchange"):
+                exchanges.append(self._parse_exchange())
+            elif token.is_keyword("priority"):
+                priorities.append(self._parse_priority())
+            elif token.is_keyword("trust"):
+                trusts.append(self._parse_trust())
+            else:
+                raise self._error(
+                    f"expected a statement keyword (principal/trusted/exchange/"
+                    f"priority/trust), found {token}"
+                )
+        return SpecFile(
+            name=name,
+            principals=tuple(principals),
+            trusted=tuple(trusted),
+            exchanges=tuple(exchanges),
+            priorities=tuple(priorities),
+            trusts=tuple(trusts),
+        )
+
+    def _parse_problem_header(self) -> str:
+        if not self._peek().is_keyword("problem"):
+            return "unnamed"
+        self._advance()
+        token = self._advance()
+        if token.type not in (TokenType.STRING, TokenType.IDENT):
+            raise self._error("expected a problem name after 'problem'", token)
+        return str(token.value)
+
+    def _parse_principal(self) -> PrincipalDecl:
+        start = self._expect_keyword("principal")
+        kind_token = self._advance()
+        kinds = {kind.value: kind for kind in PrincipalKind}
+        if kind_token.type is not TokenType.KEYWORD or kind_token.value not in kinds:
+            raise self._error(
+                "expected 'consumer', 'broker' or 'producer' after 'principal'",
+                kind_token,
+            )
+        name = self._expect_ident("a principal name")
+        return PrincipalDecl(kinds[str(kind_token.value)], str(name.value), self._pos(start))
+
+    def _parse_trusted(self) -> TrustedDecl:
+        start = self._expect_keyword("trusted")
+        name = self._expect_ident("a trusted-component name")
+        return TrustedDecl(str(name.value), self._pos(start))
+
+    def _parse_exchange(self) -> ExchangeDecl:
+        start = self._expect_keyword("exchange")
+        self._expect_keyword("via")
+        via = self._expect_ident("a trusted-component name")
+        deadline: int | None = None
+        if self._peek().is_keyword("deadline"):
+            self._advance()
+            number = self._advance()
+            if number.type is not TokenType.NUMBER:
+                raise self._error("expected a number after 'deadline'", number)
+            deadline = int(number.value)
+        brace = self._advance()
+        if brace.type is not TokenType.LBRACE:
+            raise self._error("expected '{' opening the exchange block", brace)
+        clauses: list[MemberClause] = []
+        while self._peek().type is not TokenType.RBRACE:
+            if self._peek().type is TokenType.EOF:
+                raise self._error("unterminated exchange block (missing '}')")
+            clauses.append(self._parse_clause())
+        self._advance()  # consume '}'
+        if len(clauses) < 2:
+            raise self._error(
+                "an exchange needs at least two member clauses", start
+            )
+        return ExchangeDecl(
+            str(via.value), tuple(clauses), self._pos(start), deadline=deadline
+        )
+
+    def _parse_clause(self) -> MemberClause:
+        party = self._expect_ident("a participant name")
+        verb = self._advance()
+        amount_cents: int | None = None
+        item: str | None = None
+        if verb.is_keyword("pays"):
+            amount = self._advance()
+            if amount.type is not TokenType.AMOUNT:
+                raise self._error("expected a '$' amount after 'pays'", amount)
+            amount_cents = int(amount.value)
+            kind = ClauseKind.PAYS
+        elif verb.is_keyword("gives"):
+            item_token = self._expect_ident("an item name")
+            item = str(item_token.value)
+            kind = ClauseKind.GIVES
+        else:
+            raise self._error(f"expected 'pays' or 'gives', found {verb}", verb)
+        tag = ""
+        if self._peek().is_keyword("tag"):
+            self._advance()
+            tag_token = self._expect_ident("a tag name")
+            tag = str(tag_token.value)
+        expects_item: str | None = None
+        expects_amount: int | None = None
+        expects_tag = ""
+        if self._peek().is_keyword("expects"):
+            self._advance()
+            target = self._advance()
+            if target.type is TokenType.AMOUNT:
+                expects_amount = int(target.value)
+            elif target.type is TokenType.IDENT:
+                expects_item = str(target.value)
+            else:
+                raise self._error(
+                    "expected an item name or '$' amount after 'expects'", target
+                )
+            if self._peek().is_keyword("tag"):
+                self._advance()
+                expects_tag_token = self._expect_ident("a tag name")
+                expects_tag = str(expects_tag_token.value)
+        return MemberClause(
+            party=str(party.value),
+            kind=kind,
+            amount_cents=amount_cents,
+            item=item,
+            tag=tag,
+            position=self._pos(party),
+            expects_item=expects_item,
+            expects_amount_cents=expects_amount,
+            expects_tag=expects_tag,
+        )
+
+    def _parse_priority(self) -> PriorityDecl:
+        start = self._expect_keyword("priority")
+        principal = self._expect_ident("a principal name")
+        self._expect_keyword("via")
+        via = self._expect_ident("a trusted-component name")
+        return PriorityDecl(str(principal.value), str(via.value), self._pos(start))
+
+    def _parse_trust(self) -> TrustDecl:
+        start = self._expect_keyword("trust")
+        truster = self._expect_ident("a party name")
+        arrow = self._advance()
+        if arrow.type is not TokenType.ARROW:
+            raise self._error("expected '->' in trust statement", arrow)
+        trustee = self._expect_ident("a party name")
+        return TrustDecl(str(truster.value), str(trustee.value), self._pos(start))
+
+
+def parse(source: str) -> SpecFile:
+    """Parse specification text into a :class:`SpecFile`."""
+    return Parser(tokenize(source)).parse()

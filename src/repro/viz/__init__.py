@@ -1,0 +1,14 @@
+"""Renderings of interaction and sequencing graphs (Figures 1-6) as
+Graphviz DOT or plain terminal text."""
+
+from repro.viz.ascii_art import interaction_text, sequencing_text, trace_text
+from repro.viz.dot import interaction_to_dot, petri_to_dot, sequencing_to_dot
+
+__all__ = [
+    "interaction_text",
+    "sequencing_text",
+    "trace_text",
+    "interaction_to_dot",
+    "petri_to_dot",
+    "sequencing_to_dot",
+]

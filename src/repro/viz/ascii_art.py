@@ -1,0 +1,75 @@
+"""Plain-text renderings for terminals (the CLI's default output).
+
+Nothing fancy: indented adjacency listings that make the figures readable in
+a terminal, plus a reduction-trace narration matching the §4.2.2 walkthrough
+style.
+"""
+
+from __future__ import annotations
+
+from repro.core.interaction import InteractionGraph
+from repro.core.reduction import ReductionTrace
+from repro.core.sequencing import SequencingGraph
+
+
+def interaction_text(graph: InteractionGraph) -> list[str]:
+    """An adjacency listing of an interaction graph."""
+    lines = ["interaction graph:"]
+    lines.append(
+        "  principals: "
+        + ", ".join(f"{p.name}({p.role.value})" for p in graph.principals)
+    )
+    lines.append(
+        "  trusted:    " + ", ".join(t.name for t in graph.trusted_components)
+    )
+    for component in graph.trusted_components:
+        left, *rest = graph.edges_at(component)
+        sides = [left, *rest]
+        swap = " <-> ".join(f"{e.principal.name}[{e.provides}]" for e in sides)
+        lines.append(f"  {component.name}: {swap}")
+    if graph.priority_edges:
+        marks = ", ".join(
+            f"{e.principal.name}--{e.trusted.name}" for e in sorted(graph.priority_edges)
+        )
+        lines.append(f"  priority (red): {marks}")
+    return lines
+
+
+def sequencing_text(graph: SequencingGraph) -> list[str]:
+    """An adjacency listing of a sequencing graph."""
+    lines = [
+        f"sequencing graph: {len(graph.commitments)} commitments, "
+        f"{len(graph.conjunctions)} conjunctions, {len(graph.red_edges)} red / "
+        f"{len(graph.black_edges)} black edges"
+    ]
+    for conjunction in graph.conjunctions:
+        lines.append(f"  AND({conjunction.agent.name}):")
+        for edge in graph.edges_of_conjunction(conjunction):
+            color = "RED  " if edge.is_red else "black"
+            persona = " (persona)" if edge.commitment in graph.personas else ""
+            lines.append(f"    [{color}] {edge.commitment.label}{persona}")
+    return lines
+
+
+def trace_text(trace: ReductionTrace) -> list[str]:
+    """Narrate a reduction trace in the §4.2.2 walkthrough style."""
+    lines = ["reduction:"]
+    for step in trace.steps:
+        persona = " via direct trust" if step.via_persona else ""
+        lines.append(
+            f"  {step.index}. Rule #{int(step.rule)}{persona} removes "
+            f"{step.edge.commitment.label} = {step.edge.conjunction.label}"
+        )
+        if step.conjunction_disconnected is not None:
+            lines.append(
+                f"     -> {step.conjunction_disconnected.label} disconnected"
+            )
+    if trace.feasible:
+        lines.append("  result: FEASIBLE (all edges eliminated)")
+    else:
+        lines.append(
+            f"  result: NOT SHOWN FEASIBLE ({len(trace.remaining)} edges remain)"
+        )
+        for blockage in trace.blockages:
+            lines.append(f"    impasse: {blockage}")
+    return lines

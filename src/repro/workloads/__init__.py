@@ -1,0 +1,44 @@
+"""Workload generators: the paper's worked examples plus parametric families.
+
+* :mod:`repro.workloads.examples` — Figures 1, 2, 7 and the §4.2.3/§5
+  variants, with the paper's party names.
+* :mod:`repro.workloads.chains` — resale chains (Figure 1 generalized).
+* :mod:`repro.workloads.bundles` — consumer bundles (Figures 2/7 generalized).
+* :mod:`repro.workloads.random_graphs` — random topologies for studies and
+  property-based tests.
+"""
+
+from repro.workloads.bundles import broker_bundle, consumer_bundle_prices
+from repro.workloads.chains import oversale, resale_chain, star
+from repro.workloads.examples import (
+    example1,
+    example2,
+    example2_broker_trusts_source,
+    example2_source_trusts_broker,
+    figure7,
+    poor_broker,
+    simple_purchase,
+)
+from repro.workloads.random_graphs import (
+    RandomProblemConfig,
+    random_problem,
+    random_problem_batch,
+)
+
+__all__ = [
+    "broker_bundle",
+    "consumer_bundle_prices",
+    "oversale",
+    "resale_chain",
+    "star",
+    "example1",
+    "example2",
+    "example2_broker_trusts_source",
+    "example2_source_trusts_broker",
+    "figure7",
+    "poor_broker",
+    "simple_purchase",
+    "RandomProblemConfig",
+    "random_problem",
+    "random_problem_batch",
+]

@@ -1,0 +1,83 @@
+"""Parametric bundle workloads: one consumer, *k* broker/source pairs.
+
+This is the Figure 2 / Figure 7 family generalized: the consumer wants all
+*k* documents or none (its conjunction node conjoins all *k* purchase
+commitments), and every broker demands a committed buyer before purchasing
+from its source (a red edge at each broker conjunction).  For ``k >= 2`` the
+exchange is infeasible without indemnities (§6); :mod:`repro.core.indemnity`
+computes the escrow plans that unlock it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.interaction import InteractionGraph
+from repro.core.items import document, money
+from repro.core.parties import broker, consumer, producer, trusted
+from repro.core.problem import ExchangeProblem
+from repro.errors import ModelError
+
+
+def broker_bundle(
+    n_docs: int,
+    retail_prices: Sequence[float],
+    wholesale_prices: Sequence[float] | None = None,
+    name: str | None = None,
+    consumer_name: str = "Consumer",
+) -> ExchangeProblem:
+    """Build the *k*-document bundle problem.
+
+    ``retail_prices[i]`` is what the consumer pays for document ``d{i+1}``
+    (the costs Figure 7 annotates); ``wholesale_prices[i]`` what broker
+    ``Broker{i+1}`` pays source ``Source{i+1}`` (defaults to 80% of retail).
+    Intermediary ``Trusted{2i+1}`` sits between consumer and broker *i*,
+    ``Trusted{2i+2}`` between broker *i* and source *i*, matching Figure 7's
+    numbering (T1..T6 for three documents).
+    """
+    if n_docs < 1:
+        raise ModelError(f"bundle needs at least one document, got {n_docs}")
+    if len(retail_prices) != n_docs:
+        raise ModelError(
+            f"expected {n_docs} retail prices, got {len(retail_prices)}"
+        )
+    if wholesale_prices is None:
+        wholesale_prices = tuple(p * 0.8 for p in retail_prices)
+    if len(wholesale_prices) != n_docs:
+        raise ModelError(
+            f"expected {n_docs} wholesale prices, got {len(wholesale_prices)}"
+        )
+
+    c = consumer(consumer_name)
+    graph = InteractionGraph()
+    graph.add_principal(c)
+    for i in range(n_docs):
+        idx = i + 1
+        b = graph.add_principal(broker(f"Broker{idx}"))
+        s = graph.add_principal(producer(f"Source{idx}"))
+        t_sell = graph.add_trusted(trusted(f"Trusted{2 * i + 1}"))
+        t_buy = graph.add_trusted(trusted(f"Trusted{2 * i + 2}"))
+        d = document(f"d{idx}")
+        _, sell_edge = graph.add_exchange(
+            c, money(retail_prices[i], tag=f"retail-d{idx}"), b, d, via=t_sell
+        )
+        graph.add_exchange(
+            b, money(wholesale_prices[i], tag=f"wholesale-d{idx}"), s, d, via=t_buy
+        )
+        graph.mark_priority(sell_edge)
+
+    problem_name = name if name is not None else f"broker-bundle-{n_docs}"
+    return ExchangeProblem(problem_name, graph).validate()
+
+
+def consumer_bundle_prices(problem: ExchangeProblem) -> dict[str, int]:
+    """Map document-selling commitment labels to the consumer's price in cents.
+
+    Convenience for indemnity studies: looks at every edge where the
+    consumer pays money and returns ``{trusted_name: cents}``.
+    """
+    prices: dict[str, int] = {}
+    for edge in problem.interaction.edges:
+        if edge.principal.role.value == "consumer" and edge.provides.is_money:
+            prices[edge.trusted.name] = getattr(edge.provides, "cents")
+    return prices

@@ -1,0 +1,117 @@
+"""Resale-chain workloads: consumer — broker₁ — … — brokerₙ — producer.
+
+Figure 1 is the one-broker instance of this family.  Each broker resells the
+single document one hop closer to the consumer and demands a committed buyer
+before purchasing (red edge at its conjunction).  Chains of any length are
+feasible — the commitment cascade runs from the producer's end inward — which
+makes this family ideal for the scaling benchmark (reduction cost vs. graph
+size) and the §8 message-cost sweep.
+"""
+
+from __future__ import annotations
+
+from repro.core.interaction import InteractionGraph
+from repro.core.items import document, money
+from repro.core.parties import broker, consumer, producer, trusted
+from repro.core.problem import ExchangeProblem
+from repro.errors import ModelError
+
+
+def resale_chain(
+    n_brokers: int,
+    retail: float = 10.0,
+    margin: float = 1.0,
+    solvent: bool = True,
+) -> ExchangeProblem:
+    """Build a chain with *n_brokers* intermediating brokers.
+
+    The consumer pays ``retail``; each broker buys one hop upstream for
+    ``margin`` less than it sells for.  ``solvent=False`` reproduces the
+    "poor broker" pathology at *every* broker (both edges red ⇒ infeasible
+    for any ``n_brokers >= 1``).
+
+    ``n_brokers=0`` degenerates to :func:`repro.workloads.examples.simple_purchase`.
+    """
+    if n_brokers < 0:
+        raise ModelError(f"n_brokers must be non-negative, got {n_brokers}")
+    lowest = retail - margin * n_brokers
+    if lowest <= 0:
+        raise ModelError(
+            f"retail {retail} cannot absorb {n_brokers} margins of {margin}"
+        )
+
+    c = consumer("Consumer")
+    p = producer("Producer")
+    brokers = [broker(f"Broker{i + 1}") for i in range(n_brokers)]
+    intermediaries = [trusted(f"Trusted{i + 1}") for i in range(n_brokers + 1)]
+    d = document("d")
+
+    graph = InteractionGraph()
+    graph.add_principal(c)
+    for b in brokers:
+        graph.add_principal(b)
+    graph.add_principal(p)
+    for t in intermediaries:
+        graph.add_trusted(t)
+
+    # Chain of sellers from the consumer outward: c buys from brokers[0],
+    # brokers[i] buys from brokers[i+1], brokers[-1] buys from the producer.
+    buyers = [c] + brokers
+    sellers = brokers + [p]
+    for hop, (buyer, seller, via) in enumerate(zip(buyers, sellers, intermediaries)):
+        price = money(retail - margin * hop, tag=f"hop{hop}")
+        buy_edge, sell_edge = graph.add_exchange(buyer, price, seller, d, via=via)
+        if seller is not p:
+            # The seller is a broker: its sale must be committed before its
+            # own purchase one hop upstream (the red edge at its conjunction).
+            graph.mark_priority(sell_edge)
+        if not solvent and buyer is not c:
+            # A poor broker also demands its incoming payment before paying
+            # upstream: its buy edge becomes red too, creating the impasse.
+            graph.mark_priority(buy_edge)
+
+    name = f"resale-chain-{n_brokers}" + ("" if solvent else "-poor")
+    return ExchangeProblem(name, graph).validate()
+
+
+def star(n_consumers: int, price: float = 10.0) -> ExchangeProblem:
+    """One producer selling distinct documents to *n* consumers in parallel.
+
+    Each sale has its own trusted intermediary and document, so the
+    producer's conjunction is an all-black bundle over independent,
+    individually satisfiable exchanges — feasible at any width, and a good
+    stress shape for the scheduler's bundle-assurance gate.
+    """
+    if n_consumers < 1:
+        raise ModelError(f"need at least one consumer, got {n_consumers}")
+    p = producer("Producer")
+    graph = InteractionGraph()
+    graph.add_principal(p)
+    for i in range(n_consumers):
+        c = graph.add_principal(consumer(f"Consumer{i + 1}"))
+        t = graph.add_trusted(trusted(f"Trusted{i + 1}"))
+        graph.add_exchange(
+            c, money(price, tag=f"sale{i + 1}"), p, document(f"d{i + 1}"), via=t
+        )
+    return ExchangeProblem(f"star-{n_consumers}", graph).validate()
+
+
+def oversale(n_buyers: int = 2, price: float = 10.0) -> ExchangeProblem:
+    """A producer promising the *same* document to several buyers.
+
+    The sequencing-graph test is possession-blind and calls this feasible;
+    the execution scheduler and the Petri token game both detect the
+    physical impossibility (one document, many buyers).  Kept as a fixture
+    for that documented limitation.
+    """
+    if n_buyers < 2:
+        raise ModelError("an over-sale needs at least two buyers")
+    p = producer("Producer")
+    graph = InteractionGraph()
+    graph.add_principal(p)
+    d = document("d")
+    for i in range(n_buyers):
+        c = graph.add_principal(consumer(f"Buyer{i + 1}"))
+        t = graph.add_trusted(trusted(f"Trusted{i + 1}"))
+        graph.add_exchange(c, money(price, tag=f"buy{i + 1}"), p, d, via=t)
+    return ExchangeProblem(f"oversale-{n_buyers}", graph).validate()

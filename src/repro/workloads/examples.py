@@ -1,0 +1,153 @@
+"""The paper's worked examples as ready-made :class:`ExchangeProblem` fixtures.
+
+Party names follow the paper's figures exactly (``Consumer``, ``Broker``,
+``Producer``, ``Trusted1`` …) so that recovered execution sequences can be
+compared verbatim with the §5 listing.
+
+* :func:`example1` — Figure 1: consumer buys a document from a producer via a
+  broker, two trusted intermediaries (feasible).
+* :func:`example2` — Figure 2: consumer wants a two-document bundle from two
+  broker/source pairs, four intermediaries (infeasible without indemnities).
+* :func:`example2_source_trusts_broker` / :func:`example2_broker_trusts_source`
+  — the §4.2.3 direct-trust variants (feasible / still infeasible).
+* :func:`poor_broker` — the §5 variant where the broker needs the customer's
+  money to buy the document (two red edges at ∧B; infeasible).
+* :func:`figure7` — the three-broker/$10-$20-$30 indemnity example of §6.
+* :func:`simple_purchase` — the §2.3 two-party document sale through one
+  trusted agent (the smallest feasible exchange).
+
+Prices the paper leaves unspecified are fixed here (retail $12 / wholesale
+$10 for Example #1, and so on); they do not affect feasibility, only ledgers
+and cost analyses.  Figure 7's customer prices are the paper's $10/$20/$30.
+"""
+
+from __future__ import annotations
+
+from repro.core.interaction import InteractionGraph
+from repro.core.items import document, money
+from repro.core.parties import broker, consumer, producer, trusted
+from repro.core.problem import ExchangeProblem
+from repro.workloads.bundles import broker_bundle
+
+
+def simple_purchase(price: float = 10.0) -> ExchangeProblem:
+    """§2.3's two-party sale: customer buys document *d* via one trusted agent."""
+    c = consumer("Customer")
+    p = producer("Producer")
+    t = trusted("Trusted")
+    graph = InteractionGraph()
+    graph.add_principal(c)
+    graph.add_principal(p)
+    graph.add_trusted(t)
+    graph.add_exchange(c, money(price), p, document("d"), via=t)
+    return ExchangeProblem("simple-purchase", graph).validate()
+
+
+def example1(retail: float = 12.0, wholesale: float = 10.0) -> ExchangeProblem:
+    """Figure 1 / §3.1: consumer–Trusted1–broker–Trusted2–producer chain.
+
+    The broker resells document *d*: it must have the consumer's commitment
+    (via Trusted1) before spending its own money at Trusted2, so the edge
+    between the broker and Trusted1 is priority (red at ∧B).  The broker is
+    assumed solvent — it buys with its own funds (see :func:`poor_broker`).
+    """
+    c = consumer("Consumer")
+    b = broker("Broker")
+    p = producer("Producer")
+    t1 = trusted("Trusted1")
+    t2 = trusted("Trusted2")
+    d = document("d")
+
+    graph = InteractionGraph()
+    for principal in (c, b, p):
+        graph.add_principal(principal)
+    for t in (t1, t2):
+        graph.add_trusted(t)
+    edge_c_t1, edge_b_t1 = graph.add_exchange(c, money(retail, tag="retail"), b, d, via=t1)
+    edge_b_t2, _edge_p_t2 = graph.add_exchange(b, money(wholesale, tag="wholesale"), p, d, via=t2)
+    del edge_c_t1, edge_b_t2
+    graph.mark_priority(edge_b_t1)
+    return ExchangeProblem("example1", graph).validate()
+
+
+def poor_broker(retail: float = 12.0, wholesale: float = 10.0) -> ExchangeProblem:
+    """§5's infeasible variant: the broker needs the customer's money first.
+
+    Both of the broker's commitments are priority, so ∧B has two red edges,
+    "each of which must be done first. Since this is impossible, the whole
+    exchange is infeasible."
+    """
+    problem = example1(retail=retail, wholesale=wholesale)
+    buy_side = problem.interaction.find_edge("Broker", "Trusted2")
+    problem.interaction.mark_priority(buy_side)
+    problem.name = "poor-broker"
+    return problem
+
+
+def example2(
+    retail: tuple[float, float] = (12.0, 22.0),
+    wholesale: tuple[float, float] = (10.0, 20.0),
+) -> ExchangeProblem:
+    """Figure 2 / §3.2: two-document bundle through two broker/source pairs.
+
+    The consumer wants both documents or neither (∧C conjoins its two
+    commitments); each broker wants a committed buyer before purchasing from
+    its source (red edges at ∧B1 and ∧B2).  Infeasible as specified.
+    """
+    c = consumer("Consumer")
+    b1, b2 = broker("Broker1"), broker("Broker2")
+    s1, s2 = producer("Source1"), producer("Source2")
+    t1, t2, t3, t4 = (trusted(f"Trusted{i}") for i in range(1, 5))
+    d1, d2 = document("d1"), document("d2")
+
+    graph = InteractionGraph()
+    for principal in (c, b1, b2, s1, s2):
+        graph.add_principal(principal)
+    for t in (t1, t2, t3, t4):
+        graph.add_trusted(t)
+
+    _, sell1 = graph.add_exchange(c, money(retail[0], tag="retail-d1"), b1, d1, via=t1)
+    graph.add_exchange(b1, money(wholesale[0], tag="wholesale-d1"), s1, d1, via=t2)
+    _, sell2 = graph.add_exchange(c, money(retail[1], tag="retail-d2"), b2, d2, via=t3)
+    graph.add_exchange(b2, money(wholesale[1], tag="wholesale-d2"), s2, d2, via=t4)
+    graph.mark_priority(sell1)
+    graph.mark_priority(sell2)
+    return ExchangeProblem("example2", graph).validate()
+
+
+def example2_source_trusts_broker() -> ExchangeProblem:
+    """§4.2.3 variant 1: Source1 directly trusts Broker1 (feasible).
+
+    Broker1 then plays the role of Trusted2, so Rule #1 clause 2 removes the
+    edge between ∧B1 and Broker1–Trusted2 despite the red pre-emption,
+    triggering the domino that empties the graph.
+    """
+    problem = example2().with_trust("Source1", "Broker1")
+    problem.name = "example2-source1-trusts-broker1"
+    return problem
+
+
+def example2_broker_trusts_source() -> ExchangeProblem:
+    """§4.2.3 variant 2: Broker1 directly trusts Source1 (still infeasible).
+
+    Source1 plays the role of Trusted2 — but the only edge this unlocks was
+    already removable, so the impasse stands.  Trust asymmetry matters.
+    """
+    problem = example2().with_trust("Broker1", "Source1")
+    problem.name = "example2-broker1-trusts-source1"
+    return problem
+
+
+def figure7(prices: tuple[float, float, float] = (10.0, 20.0, 30.0)) -> ExchangeProblem:
+    """§6 / Figure 7: three-broker bundle with customer prices $10/$20/$30.
+
+    Infeasible without indemnities; the indemnity planner demonstrates the
+    $90-vs-$70 ordering effect and the greedy minimum.
+    """
+    problem = broker_bundle(
+        n_docs=3,
+        retail_prices=prices,
+        wholesale_prices=tuple(p * 0.8 for p in prices),
+        name="figure7",
+    )
+    return problem

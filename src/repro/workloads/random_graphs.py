@@ -1,0 +1,133 @@
+"""Random exchange topologies for feasibility studies and property tests.
+
+Every generated problem is structurally valid: each exchange is mediated by a
+fresh trusted component (degree exactly 2), swaps money for a unique
+document, and priority (red) markings are placed randomly on principals that
+hold several commitments.  Feasibility is *not* guaranteed — that is the
+point: :mod:`repro.analysis.feasibility_study` measures how the feasible
+fraction falls as priority density rises, and the confluence property tests
+need graphs on both sides of the boundary.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.interaction import InteractionGraph
+from repro.core.items import document, money
+from repro.core.parties import Party, Role
+from repro.core.problem import ExchangeProblem
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class RandomProblemConfig:
+    """Knobs for :func:`random_problem`.
+
+    * ``n_principals`` — how many principals to create;
+    * ``n_exchanges`` — how many mediated pairwise exchanges to add;
+    * ``priority_probability`` — chance that a seller with multiple
+      commitments marks one of them priority (red);
+    * ``max_price`` — uniform price ceiling in whole dollars.
+    """
+
+    n_principals: int = 8
+    n_exchanges: int = 6
+    priority_probability: float = 0.5
+    max_price: int = 50
+    allow_cycles: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_principals < 2:
+            raise ModelError("need at least two principals")
+        if self.n_exchanges < 1:
+            raise ModelError("need at least one exchange")
+        if not 0.0 <= self.priority_probability <= 1.0:
+            raise ModelError("priority_probability must be in [0, 1]")
+        if not self.allow_cycles and self.n_exchanges > self.n_principals - 1:
+            raise ModelError(
+                "an acyclic topology over n principals holds at most n-1 "
+                "exchanges; raise n_principals or set allow_cycles=True"
+            )
+
+
+def random_problem(
+    config: RandomProblemConfig = RandomProblemConfig(),
+    rng: random.Random | None = None,
+    seed: int | None = None,
+) -> ExchangeProblem:
+    """Generate one random exchange problem.
+
+    Supply *rng* (preferred for property tests) or *seed*; both default to a
+    fixed seed for reproducibility.
+    """
+    if rng is None:
+        rng = random.Random(0 if seed is None else seed)
+
+    principals = [
+        Party(f"P{i + 1}", rng.choice([Role.CONSUMER, Role.BROKER, Role.PRODUCER]))
+        for i in range(config.n_principals)
+    ]
+    # Choose the exchange pairs first so principals that end up unused are
+    # simply never registered (a registered-but-idle principal is invalid).
+    # By default the interaction topology is kept acyclic (a forest over the
+    # principals): the §4.2 reduction can never clear a cycle of mutual
+    # all-or-nothing conjunctions, so cyclic instances are uniformly
+    # infeasible and drown out every other effect in the studies.
+    pairs: list[tuple[Party, Party]] = []
+    index_of = {p: i for i, p in enumerate(principals)}
+    parent = list(range(len(principals)))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    attempts = 0
+    while len(pairs) < config.n_exchanges and attempts < config.n_exchanges * 200:
+        attempts += 1
+        buyer, seller = rng.sample(principals, 2)
+        if not config.allow_cycles:
+            buyer_root = find(index_of[buyer])
+            seller_root = find(index_of[seller])
+            if buyer_root == seller_root:
+                continue
+            parent[buyer_root] = seller_root
+        pairs.append((buyer, seller))
+    if len(pairs) < config.n_exchanges:
+        raise ModelError("could not place the requested number of acyclic exchanges")
+    used = {p for pair in pairs for p in pair}
+    graph = InteractionGraph()
+    for p in principals:
+        if p in used:
+            graph.add_principal(p)
+
+    edges_by_principal: dict[Party, list] = {p: [] for p in principals}
+    for i, (buyer, seller) in enumerate(pairs):
+        t = graph.add_trusted(Party(f"T{i + 1}", Role.TRUSTED))
+        price = money(rng.randint(1, config.max_price), tag=f"x{i + 1}")
+        doc = document(f"doc{i + 1}")
+        buy_edge, sell_edge = graph.add_exchange(buyer, price, seller, doc, via=t)
+        edges_by_principal[buyer].append(buy_edge)
+        edges_by_principal[seller].append(sell_edge)
+
+    for principal, edges in edges_by_principal.items():
+        if len(edges) < 2:
+            continue
+        if rng.random() < config.priority_probability:
+            graph.mark_priority(rng.choice(edges))
+
+    problem = ExchangeProblem(f"random-{config.n_exchanges}x{config.n_principals}", graph)
+    return problem.validate()
+
+
+def random_problem_batch(
+    count: int,
+    config: RandomProblemConfig = RandomProblemConfig(),
+    seed: int = 0,
+) -> list[ExchangeProblem]:
+    """A reproducible batch of random problems (distinct sub-seeds)."""
+    rng = random.Random(seed)
+    return [random_problem(config, rng=random.Random(rng.random())) for _ in range(count)]

@@ -1,0 +1,73 @@
+"""Unit tests for the §8 cost model."""
+
+from repro.analysis.cost import (
+    chain_cost_sweep,
+    format_chain_table,
+    measured_cost,
+    static_cost,
+)
+from repro.workloads import example1, example2, resale_chain, simple_purchase
+
+
+class TestStaticCost:
+    def test_example1(self):
+        cost = static_cost(example1())
+        assert cost.n_exchanges == 2
+        assert cost.direct == 4
+        assert cost.mediated_static == 8
+        assert cost.mediated_with_notifies == 10
+        assert cost.universal == 8
+        assert cost.mistrust_ratio == 2.0
+
+    def test_example2(self):
+        cost = static_cost(example2())
+        assert cost.n_exchanges == 4
+        assert cost.direct == 8
+        assert cost.mediated_static == 16
+
+    def test_ratio_is_always_two(self):
+        for factory in (simple_purchase, example1, example2):
+            assert static_cost(factory()).mistrust_ratio == 2.0
+
+
+class TestMeasuredCost:
+    def test_example1_matches_section5_listing(self):
+        measured = measured_cost(example1())
+        assert measured.transfers == 8
+        assert measured.notifies == 2
+        assert measured.total == 10
+
+    def test_measured_transfers_match_static(self):
+        # The simulator's transfer count equals the §8 static 4-per-exchange.
+        for factory in (simple_purchase, example1):
+            problem = factory()
+            assert measured_cost(problem).transfers == static_cost(problem).mediated_static
+
+    def test_chain_notifies_one_per_intermediary(self):
+        problem = resale_chain(3, retail=100.0)
+        measured = measured_cost(problem)
+        assert measured.notifies == 4  # one per trusted component
+
+
+class TestChainSweep:
+    def test_rows_and_monotonicity(self):
+        rows = chain_cost_sweep(4)
+        assert len(rows) == 5
+        assert [r.n_brokers for r in rows] == [0, 1, 2, 3, 4]
+        totals = [r.measured_total for r in rows]
+        assert totals == sorted(totals)
+
+    def test_constant_ratio(self):
+        for row in chain_cost_sweep(3):
+            assert row.ratio == 2.0
+
+    def test_measured_equals_five_per_exchange(self):
+        # 4 transfers + 1 notify per mediated exchange in a chain.
+        for row in chain_cost_sweep(3):
+            assert row.measured_total == 5 * row.n_exchanges
+
+    def test_format_table(self):
+        lines = format_chain_table(chain_cost_sweep(2))
+        assert len(lines) == 4
+        assert "ratio" in lines[0]
+        assert lines[1].split()[-1] == "2.0"

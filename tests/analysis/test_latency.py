@@ -1,0 +1,55 @@
+"""Unit tests for the latency analysis (§8 extended to time)."""
+
+from repro.analysis.latency import (
+    chain_latency_sweep,
+    direct_latency,
+    format_latency_table,
+    measured_latency,
+    universal_latency,
+)
+from repro.workloads import example1, simple_purchase
+
+
+class TestBaselines:
+    def test_constants(self):
+        assert direct_latency() == 1.0
+        assert universal_latency() == 2.0
+
+
+class TestMeasured:
+    def test_simple_purchase_critical_path(self):
+        # deposit(1) -> notify(1) -> deposit(1) -> releases(1) = 4 delays.
+        assert measured_latency(simple_purchase()) == 4.0
+
+    def test_example1_critical_path(self):
+        # Two chained exchanges: the broker's purchase waits for the
+        # consumer-side notify, and the delivery waits for the release.
+        assert measured_latency(example1()) == 8.0
+
+    def test_latency_parameter_scales(self):
+        assert measured_latency(example1(), latency=2.0) == 16.0
+
+
+class TestChainSweep:
+    def test_linear_growth(self):
+        rows = chain_latency_sweep(4)
+        values = [r.decentralized for r in rows]
+        deltas = [b - a for a, b in zip(values, values[1:])]
+        assert len(set(deltas)) == 1  # constant increments = linear
+        assert deltas[0] > 0
+
+    def test_baselines_constant(self):
+        for row in chain_latency_sweep(3):
+            assert row.universal == 2.0
+            assert row.direct == 1.0
+
+    def test_slowdown_grows(self):
+        rows = chain_latency_sweep(4)
+        slowdowns = [r.slowdown_vs_universal for r in rows]
+        assert slowdowns == sorted(slowdowns)
+        assert slowdowns[-1] > slowdowns[0]
+
+    def test_format_table(self):
+        lines = format_latency_table(chain_latency_sweep(2))
+        assert len(lines) == 4
+        assert "decentralized" in lines[0]

@@ -1,0 +1,104 @@
+"""Unit tests for the feasibility and indemnity sweep studies."""
+
+from repro.analysis.feasibility_study import priority_sweep, trust_sweep
+from repro.analysis.indemnity_study import (
+    bundle_scaling,
+    figure7_table,
+    ordering_costs,
+)
+
+
+class TestPrioritySweep:
+    def test_zero_priority_acyclic_is_fully_feasible(self):
+        (row,) = priority_sweep(probabilities=[0.0], samples=20)
+        assert row.feasible_fraction == 1.0
+
+    def test_feasibility_declines_with_priority_density(self):
+        rows = priority_sweep(probabilities=[0.0, 0.5, 1.0], samples=25)
+        fractions = [r.feasible_fraction for r in rows]
+        assert fractions[0] >= fractions[1] >= fractions[2]
+        assert fractions[0] > fractions[2]
+
+    def test_rows_carry_sample_counts(self):
+        rows = priority_sweep(probabilities=[0.3], samples=7)
+        assert rows[0].samples == 7
+        assert 0 <= rows[0].feasible <= 7
+
+    def test_deterministic(self):
+        a = priority_sweep(probabilities=[0.5], samples=10, seed=3)
+        b = priority_sweep(probabilities=[0.5], samples=10, seed=3)
+        assert a == b
+
+
+class TestTrustSweep:
+    def test_zero_added_trust_unlocks_nothing(self):
+        rows = trust_sweep(edge_counts=[0], samples=8)
+        assert rows[0].unlocked == 0
+
+    def test_trust_helps_in_expectation(self):
+        rows = trust_sweep(edge_counts=[0, 8], samples=12)
+        assert rows[-1].unlocked >= rows[0].unlocked
+
+    def test_fraction_property(self):
+        rows = trust_sweep(edge_counts=[2], samples=6)
+        assert 0.0 <= rows[0].unlocked_fraction <= 1.0
+
+
+class TestOrderingCosts:
+    def test_figure7_permutation_totals(self):
+        rows = ordering_costs((10.0, 20.0, 30.0))
+        assert len(rows) == 6
+        totals = sorted({r.total_cents for r in rows})
+        # Uncovered-last piece determines the total: 70 / 80 / 90 dollars.
+        assert totals == [7000, 8000, 9000]
+
+    def test_every_ordering_uses_two_offers(self):
+        for row in ordering_costs((10.0, 20.0, 30.0)):
+            assert row.offers == 2
+
+    def test_pair_bundle(self):
+        rows = ordering_costs((10.0, 20.0))
+        totals = sorted({r.total_cents for r in rows})
+        assert totals == [1000, 2000]
+
+
+class TestBundleScaling:
+    def test_closed_forms(self):
+        for row in bundle_scaling(max_k=5, base_price=10.0):
+            s = row.total_price_cents
+            assert row.greedy_cents == (row.k - 2) * s + 1000  # c_min = $10
+            assert row.worst_cents == (row.k - 2) * s + row.k * 1000  # c_max
+
+    def test_overshoot_shrinks_with_k(self):
+        rows = bundle_scaling(max_k=6)
+        overshoots = [r.overshoot for r in rows[1:]]  # k>=3
+        assert overshoots == sorted(overshoots, reverse=True)
+
+
+class TestFigure7Table:
+    def test_table_mentions_paper_totals(self):
+        text = "\n".join(figure7_table())
+        assert "70.00" in text
+        assert "90.00" in text
+
+
+class TestIncompletenessGap:
+    def test_reduction_never_unsound(self):
+        from repro.analysis.feasibility_study import incompleteness_gap
+
+        row = incompleteness_gap(samples=60, seed=2)
+        assert row.unsound == 0
+
+    def test_gap_exists_at_high_priority_density(self):
+        from repro.analysis.feasibility_study import incompleteness_gap
+
+        row = incompleteness_gap(samples=120, priority_probability=0.8, seed=0)
+        assert row.gap > 0
+        assert 0.0 <= row.gap_fraction <= 1.0
+
+    def test_deterministic(self):
+        from repro.analysis.feasibility_study import incompleteness_gap
+
+        assert incompleteness_gap(samples=30, seed=5) == incompleteness_gap(
+            samples=30, seed=5
+        )

@@ -1,0 +1,75 @@
+"""Unit tests for the naive direct-exchange baseline (§1, §8)."""
+
+import pytest
+
+from repro.baselines.direct import (
+    direct_exchange,
+    direct_message_count,
+    mediated_message_count,
+    mistrust_overhead,
+)
+from repro.errors import ModelError
+
+
+class TestHonestRuns:
+    @pytest.mark.parametrize("buyer_first", [True, False])
+    def test_both_honest_completes_in_two_messages(self, buyer_first):
+        outcome = direct_exchange(buyer_pays_first=buyer_first)
+        assert outcome.completed
+        assert outcome.messages == 2
+        assert outcome.all_ok
+
+
+class TestDefection:
+    def test_seller_keeps_money(self):
+        # §1: "If the customer first sends the funds, the publisher might
+        # keep them and not provide the document."
+        outcome = direct_exchange(seller_honest=False, buyer_pays_first=True)
+        assert outcome.buyer_paid and not outcome.buyer_has_good
+        assert not outcome.buyer_ok
+        assert outcome.seller_ok  # the cheat profits
+        assert outcome.messages == 1
+
+    def test_buyer_refuses_to_pay(self):
+        # §1: "If the publisher gives the document first, the customer might
+        # refuse to pay later."
+        outcome = direct_exchange(buyer_honest=False, buyer_pays_first=False)
+        assert outcome.seller_delivered and not outcome.seller_has_money
+        assert not outcome.seller_ok
+        assert outcome.buyer_ok
+
+    def test_first_mover_always_bears_the_risk(self):
+        assert not direct_exchange(seller_honest=False, buyer_pays_first=True).buyer_ok
+        assert not direct_exchange(buyer_honest=False, buyer_pays_first=False).seller_ok
+
+    def test_second_mover_cheat_never_harmed(self):
+        # A dishonest second mover simply keeps what arrived; the honest
+        # first mover is the victim in both orders.
+        outcome = direct_exchange(seller_honest=False, buyer_pays_first=True)
+        assert outcome.seller_ok and not outcome.buyer_ok
+        outcome = direct_exchange(buyer_honest=False, buyer_pays_first=False)
+        assert outcome.buyer_ok and not outcome.seller_ok
+
+    def test_dishonest_second_mover_with_honest_first(self):
+        # Buyer pays first and seller is honest: completion regardless of
+        # what the buyer WOULD have done second.
+        outcome = direct_exchange(buyer_honest=False, buyer_pays_first=True)
+        assert outcome.completed
+
+
+class TestMessageCounts:
+    def test_section8_constants(self):
+        assert direct_message_count() == 2
+        assert mediated_message_count() == 4
+        assert mediated_message_count(include_notifies=True) == 5
+
+    def test_overhead_is_2x(self):
+        for n in (1, 3, 10):
+            assert mistrust_overhead(n) == 2.0
+
+    def test_overhead_with_notifies(self):
+        assert mistrust_overhead(4, include_notifies=True) == 2.5
+
+    def test_zero_exchanges_rejected(self):
+        with pytest.raises(ModelError):
+            mistrust_overhead(0)

@@ -1,0 +1,111 @@
+"""Unit tests for the saga baseline (§7.2)."""
+
+import pytest
+
+from repro.baselines.saga import (
+    Saga,
+    SagaStep,
+    acceptable_to_all,
+    check_saga_acceptability,
+    saga_of_sequence,
+)
+from repro.core.actions import give, pay
+from repro.core.items import document, money
+from repro.core.parties import consumer, producer
+from repro.core.states import purchase_acceptance
+from repro.errors import ProtocolError
+
+C = consumer("c")
+P = producer("p")
+D = document("d")
+M = money(10)
+PAY = pay(C, P, M)
+DELIVER = give(P, C, D)
+
+
+def _purchase_saga():
+    return Saga([SagaStep.transfer(PAY), SagaStep.transfer(DELIVER)])
+
+
+class TestForwardExecution:
+    def test_commits_when_no_failure(self):
+        result = _purchase_saga().run()
+        assert result.committed
+        assert result.executed == [PAY, DELIVER]
+        assert result.compensated == []
+
+    def test_final_state_is_completed_exchange(self):
+        state = _purchase_saga().run().final_state()
+        assert state.contains([PAY, DELIVER])
+
+
+class TestCompensation:
+    def test_failure_compensates_in_reverse(self):
+        saga = Saga(
+            [SagaStep.transfer(PAY), SagaStep.transfer(DELIVER)]
+        )
+        result = saga.run(fails_at=1)
+        assert not result.committed
+        assert result.executed == [PAY]
+        assert result.compensated == [PAY.inverse()]
+
+    def test_failure_at_zero_compensates_nothing(self):
+        result = _purchase_saga().run(fails_at=0)
+        assert result.executed == []
+        assert result.compensated == []
+
+    def test_state_after_compensation_nets_out(self):
+        result = _purchase_saga().run(fails_at=1)
+        assert result.final_state().net_uncompensated() == frozenset()
+
+    def test_uncompensatable_step_recorded(self):
+        saga = Saga([SagaStep(PAY, compensation=None), SagaStep.transfer(DELIVER)])
+        result = saga.run(fails_at=1)
+        assert result.compensated == []
+        assert result.compensations_skipped == [PAY]
+
+    def test_dishonored_compensation_leaves_dirty_state(self):
+        # The §7.2 caveat: compensation by a distrusted counterparty is
+        # just a promise.  Here the payee refuses to refund.
+        saga = _purchase_saga()
+        result = saga.run(fails_at=1, compensation_honored=lambda a: False)
+        assert result.compensations_skipped == [PAY.inverse()]
+        state = result.final_state()
+        assert state.contains([PAY])
+        assert PAY.inverse() not in state.actions
+
+
+class TestAcceptabilityBridge:
+    def test_committed_saga_acceptable_to_all(self):
+        specs = purchase_acceptance(C, P, D, M)
+        result, verdicts = check_saga_acceptability(_purchase_saga(), specs)
+        assert result.committed
+        assert all(verdicts.values())
+        assert acceptable_to_all(result.final_state(), specs)
+
+    def test_honored_compensation_acceptable_to_all(self):
+        specs = purchase_acceptance(C, P, D, M)
+        _, verdicts = check_saga_acceptability(_purchase_saga(), specs, fails_at=1)
+        assert all(verdicts.values())
+
+    def test_dishonored_compensation_unacceptable_to_victim(self):
+        specs = purchase_acceptance(C, P, D, M)
+        _, verdicts = check_saga_acceptability(
+            _purchase_saga(),
+            specs,
+            fails_at=1,
+            compensation_honored=lambda a: False,
+        )
+        assert not verdicts[C]  # paid, no goods, no refund
+        assert verdicts[P]
+
+    def test_saga_of_sequence_strips_notifies(self):
+        from repro.workloads import example1
+
+        sequence = example1().execution_sequence()
+        saga = saga_of_sequence(list(sequence.actions))
+        assert len(saga.steps) == 8  # 10 steps minus 2 notifies
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ProtocolError):
+            saga_of_sequence([])

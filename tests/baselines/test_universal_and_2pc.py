@@ -1,0 +1,114 @@
+"""Unit tests for the universal-intermediary and 2PC baselines (§7.1, §8)."""
+
+import pytest
+
+from repro.baselines.two_phase_commit import (
+    ParticipantBehavior,
+    Vote,
+    message_count,
+    two_phase_commit,
+)
+from repro.baselines.universal_intermediary import (
+    UNIVERSAL,
+    rewrite_to_universal,
+    universal_exchange,
+    universal_message_count,
+)
+from repro.workloads import example1, example2, figure7, poor_broker
+
+
+class TestUniversalIntermediary:
+    @pytest.mark.parametrize(
+        "factory", [example1, example2, poor_broker, figure7], ids=lambda f: f.__name__
+    )
+    def test_everything_feasible_without_indemnities(self, factory):
+        # §8: "any exchange becomes feasible, without indemnities."
+        outcome = universal_exchange(factory())
+        assert outcome.feasible
+        assert outcome.completed
+
+    def test_rewrite_preserves_principals_and_flows(self):
+        problem = example2()
+        graph = rewrite_to_universal(problem)
+        assert {p.name for p in graph.principals} == {
+            p.name for p in problem.interaction.principals
+        }
+        assert graph.trusted_components == (UNIVERSAL,)
+        assert len(graph.edges) == len(problem.interaction.edges)
+        graph.validate(allow_multiparty=True)
+
+    def test_everyone_receives_counterpart_items(self):
+        problem = example2()
+        outcome = universal_exchange(problem)
+        received = {p.name: items for p, items in outcome.received.items()}
+        consumer_items = {str(i) for i in received["Consumer"]}
+        assert consumer_items == {"d1", "d2"}
+        assert len(received["Source1"]) == 1
+        assert received["Source1"][0].is_money
+
+    def test_message_count_is_2E(self):
+        problem = figure7()
+        outcome = universal_exchange(problem)
+        assert outcome.messages == 2 * len(problem.interaction.edges)
+        assert universal_message_count(problem) == outcome.messages
+
+    def test_universal_beats_decentralized_on_messages(self):
+        from repro.analysis.cost import static_cost
+
+        problem = example2()
+        cost = static_cost(problem)
+        # Same transfer count here (2 per edge = 4 per exchange), but no
+        # notifies and a single point of trust.
+        assert cost.universal <= cost.mediated_with_notifies
+
+
+class TestTwoPhaseCommit:
+    def test_all_honest_commits(self):
+        outcome = two_phase_commit(example1())
+        assert outcome.decision is Vote.COMMIT
+        assert outcome.all_safe
+        assert len(outcome.performed) == 3
+
+    def test_abort_vote_aborts_everything(self):
+        outcome = two_phase_commit(
+            example1(), {"Broker": ParticipantBehavior(vote=Vote.ABORT)}
+        )
+        assert outcome.decision is Vote.ABORT
+        assert outcome.performed == frozenset()
+        assert outcome.all_safe  # nobody moved, nobody harmed
+
+    def test_commit_then_renege_harms_honest_parties(self):
+        # The §7.1 point: 2PC's vote is not an escrow.  The broker votes
+        # COMMIT, everyone else performs, the broker keeps what arrives.
+        outcome = two_phase_commit(
+            example1(), {"Broker": ParticipantBehavior(performs=False)}
+        )
+        assert outcome.decision is Vote.COMMIT
+        harmed = {p.name for p in outcome.harmed}
+        assert harmed == {"Consumer", "Producer"}
+        assert not outcome.all_safe
+
+    def test_sequencing_protocol_protects_where_2pc_fails(self):
+        # Contrast on identical misbehaviour: simulator says all honest
+        # parties safe, 2PC says two of them harmed.
+        from repro.sim import evaluate_safety, simulate, withholder
+
+        problem = example1()
+        sim_result = simulate(problem, adversaries={"Broker": withholder(0)}, deadline=60.0)
+        assert evaluate_safety(problem, sim_result).honest_parties_safe(
+            frozenset({"Broker"})
+        )
+        tpc = two_phase_commit(problem, {"Broker": ParticipantBehavior(performs=False)})
+        assert not tpc.all_safe
+
+    def test_message_counts(self):
+        assert message_count(3) == 12
+        outcome = two_phase_commit(example1())
+        # 4n control + one transfer per performed edge.
+        assert outcome.messages == 12 + 4
+
+    def test_abort_costs_only_control_messages(self):
+        outcome = two_phase_commit(
+            example1(), {"Consumer": ParticipantBehavior(vote=Vote.ABORT)}
+        )
+        assert outcome.messages == 12

@@ -1,0 +1,81 @@
+"""Shared fixtures: the paper's worked examples and common parties/items."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.items import document, money
+from repro.core.parties import broker, consumer, producer, trusted
+from repro.workloads import (
+    example1,
+    example2,
+    example2_broker_trusts_source,
+    example2_source_trusts_broker,
+    figure7,
+    poor_broker,
+    simple_purchase,
+)
+
+
+@pytest.fixture
+def ex1():
+    """Figure 1: the feasible consumer-broker-producer chain."""
+    return example1()
+
+
+@pytest.fixture
+def ex2():
+    """Figure 2: the infeasible two-broker bundle."""
+    return example2()
+
+
+@pytest.fixture
+def ex2_variant1():
+    """§4.2.3: Source1 trusts Broker1 (feasible)."""
+    return example2_source_trusts_broker()
+
+
+@pytest.fixture
+def ex2_variant2():
+    """§4.2.3: Broker1 trusts Source1 (infeasible)."""
+    return example2_broker_trusts_source()
+
+
+@pytest.fixture
+def fig7():
+    """§6 / Figure 7: the three-broker indemnity example."""
+    return figure7()
+
+
+@pytest.fixture
+def poor():
+    """§5: the poor-broker variant (two red edges at ∧B)."""
+    return poor_broker()
+
+
+@pytest.fixture
+def tiny():
+    """§2.3: the minimal customer-producer purchase via one trusted agent."""
+    return simple_purchase()
+
+
+@pytest.fixture
+def parties():
+    """A bag of reusable parties."""
+    return {
+        "c": consumer("c"),
+        "b": broker("b"),
+        "p": producer("p"),
+        "t": trusted("t"),
+        "t2": trusted("t2"),
+    }
+
+
+@pytest.fixture
+def doc():
+    return document("d")
+
+
+@pytest.fixture
+def ten():
+    return money(10)

@@ -1,0 +1,143 @@
+"""Unit tests for repro.core.actions (§2.2/§2.5 action schemas)."""
+
+import pytest
+
+from repro.core.actions import Action, ActionKind, give, notify, pay, transfer
+from repro.core.items import document, money
+from repro.core.parties import broker, consumer, producer, trusted
+from repro.errors import ModelError
+
+C = consumer("c")
+P = producer("p")
+T = trusted("t")
+D = document("d")
+M = money(10)
+
+
+class TestConstruction:
+    def test_give_builds_give_action(self):
+        a = give(P, C, D)
+        assert a.kind is ActionKind.GIVE
+        assert a.sender == P and a.recipient == C and a.item == D
+        assert not a.inverted
+
+    def test_pay_builds_pay_action(self):
+        a = pay(C, P, M)
+        assert a.kind is ActionKind.PAY
+        assert a.item == M
+
+    def test_transfer_dispatches_on_item(self):
+        assert transfer(C, P, M).kind is ActionKind.PAY
+        assert transfer(P, C, D).kind is ActionKind.GIVE
+
+    def test_pay_requires_money(self):
+        with pytest.raises(ModelError):
+            Action(ActionKind.PAY, C, P, D)
+
+    def test_give_rejects_money(self):
+        with pytest.raises(ModelError, match="must use pay"):
+            Action(ActionKind.GIVE, C, P, M)
+
+    def test_transfer_requires_item(self):
+        with pytest.raises(ModelError):
+            Action(ActionKind.GIVE, P, C, None)
+
+    def test_self_action_rejected(self):
+        with pytest.raises(ModelError):
+            give(P, P, D)
+
+    def test_negative_deadline_rejected(self):
+        with pytest.raises(ModelError):
+            give(P, C, D, deadline=-1)
+
+    def test_deadline_recorded(self):
+        assert give(P, T, D, deadline=50.0).deadline == 50.0
+
+
+class TestNotify:
+    def test_notify_from_trusted(self):
+        a = notify(T, C)
+        assert a.kind is ActionKind.NOTIFY
+        assert a.item is None
+        assert not a.is_transfer
+
+    def test_notify_from_principal_rejected(self):
+        with pytest.raises(ModelError, match="only trusted"):
+            notify(C, P)  # type: ignore[arg-type]
+
+    def test_notify_has_no_inverse(self):
+        with pytest.raises(ModelError):
+            notify(T, C).inverse()
+
+    def test_notify_cannot_carry_item(self):
+        with pytest.raises(ModelError):
+            Action(ActionKind.NOTIFY, T, C, D)
+
+    def test_notify_cannot_be_inverted_flag(self):
+        with pytest.raises(ModelError):
+            Action(ActionKind.NOTIFY, T, C, None, inverted=True)
+
+
+class TestInverse:
+    def test_inverse_flips_flag(self):
+        a = give(P, T, D)
+        assert a.inverse().inverted
+        assert a.inverse().sender == P  # notation keeps original direction
+
+    def test_double_inverse_is_identity(self):
+        a = pay(C, T, M)
+        assert a.inverse().inverse() == a
+
+    def test_inverse_drops_deadline(self):
+        a = give(P, T, D, deadline=10.0)
+        assert a.inverse().deadline is None
+
+    def test_compensates(self):
+        a = pay(C, T, M)
+        assert a.inverse().compensates(a)
+        assert a.compensates(a.inverse())
+        assert not a.compensates(a)
+        assert not a.compensates(give(P, T, D))
+
+    def test_notify_compensates_nothing(self):
+        assert not notify(T, C).compensates(pay(C, T, M))
+        assert not pay(C, T, M).compensates(notify(T, C))
+
+
+class TestEffectiveDirection:
+    def test_forward_transfer(self):
+        a = give(P, T, D)
+        assert a.effective_sender == P
+        assert a.effective_recipient == T
+
+    def test_inverted_transfer_reverses_flow(self):
+        # give⁻¹_{p->t}(d): t physically returns d to p.
+        a = give(P, T, D).inverse()
+        assert a.effective_sender == T
+        assert a.effective_recipient == P
+
+
+class TestRendering:
+    def test_give_str(self):
+        assert str(give(P, C, D)) == "give[p->c](d)"
+
+    def test_inverse_str(self):
+        assert str(give(P, C, D).inverse()) == "give^-1[p->c](d)"
+
+    def test_pay_str(self):
+        assert str(pay(C, P, M)) == "pay[c->p]($10.00)"
+
+    def test_notify_str(self):
+        assert str(notify(T, C)) == "notify[t](c)"
+
+
+class TestValueSemantics:
+    def test_equal_actions_hash_equal(self):
+        assert hash(give(P, C, D)) == hash(give(P, C, D))
+
+    def test_deadline_distinguishes(self):
+        assert give(P, C, D) != give(P, C, D, deadline=5.0)
+
+    def test_usable_in_sets(self):
+        s = {give(P, C, D), give(P, C, D), pay(C, P, M)}
+        assert len(s) == 2

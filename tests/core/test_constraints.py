@@ -1,0 +1,93 @@
+"""Unit tests for repro.core.constraints (§2.4 ordering constraints)."""
+
+import pytest
+
+from repro.core.actions import give, pay
+from repro.core.constraints import (
+    Constraint,
+    check_sequence,
+    possession_constraints,
+    topological_respects,
+)
+from repro.core.items import document, money
+from repro.core.parties import broker, consumer, producer, trusted
+from repro.errors import ModelError
+
+C = consumer("c")
+B = broker("b")
+P = producer("p")
+T1 = trusted("t1")
+T2 = trusted("t2")
+D = document("d")
+
+INBOUND = give(P, B, D)  # producer hands broker the document
+OUTBOUND = give(B, C, D)  # broker forwards it to the consumer
+
+
+class TestConstraint:
+    def test_satisfied_when_earlier_precedes(self):
+        c = Constraint(later=OUTBOUND, earlier=INBOUND)
+        assert c.satisfied_by([INBOUND, OUTBOUND])
+
+    def test_violated_when_order_flipped(self):
+        c = Constraint(later=OUTBOUND, earlier=INBOUND)
+        assert not c.satisfied_by([OUTBOUND, INBOUND])
+
+    def test_vacuous_when_later_absent(self):
+        c = Constraint(later=OUTBOUND, earlier=INBOUND)
+        assert c.satisfied_by([INBOUND])
+        assert c.satisfied_by([])
+
+    def test_violated_when_later_present_but_earlier_missing(self):
+        c = Constraint(later=OUTBOUND, earlier=INBOUND)
+        assert not c.satisfied_by([OUTBOUND])
+
+    def test_self_constraint_rejected(self):
+        with pytest.raises(ModelError):
+            Constraint(later=INBOUND, earlier=INBOUND)
+
+    def test_str_uses_paper_arrow(self):
+        c = Constraint(later=OUTBOUND, earlier=INBOUND)
+        assert str(c) == f"{OUTBOUND} -> {INBOUND}"
+
+
+class TestPossessionConstraints:
+    def test_document_relay_is_constrained(self):
+        constraints = possession_constraints([INBOUND, OUTBOUND])
+        assert Constraint(later=OUTBOUND, earlier=INBOUND) in constraints
+
+    def test_money_is_not_constrained(self):
+        # Parties may spend their own funds (§5's solvent broker).
+        m = money(10)
+        receive = pay(C, B, m)
+        spend = pay(B, P, m)
+        assert possession_constraints([receive, spend]) == set()
+
+    def test_unrelated_documents_not_constrained(self):
+        other = give(B, C, document("e"))
+        assert possession_constraints([INBOUND, other]) == set()
+
+    def test_inverted_transfers_ignored(self):
+        assert possession_constraints([INBOUND.inverse(), OUTBOUND]) == set()
+
+    def test_three_hop_chain(self):
+        hop1 = give(P, T2, D)
+        hop2 = give(T2, B, D)
+        hop3 = give(B, T1, D)
+        constraints = possession_constraints([hop1, hop2, hop3])
+        assert Constraint(later=hop2, earlier=hop1) in constraints
+        assert Constraint(later=hop3, earlier=hop2) in constraints
+        assert len(constraints) == 2
+
+
+class TestCheckSequence:
+    def test_valid_sequence_reports_nothing(self):
+        constraints = possession_constraints([INBOUND, OUTBOUND])
+        assert check_sequence([INBOUND, OUTBOUND], constraints) == []
+        assert topological_respects([INBOUND, OUTBOUND], constraints)
+
+    def test_invalid_sequence_reports_violation(self):
+        constraints = possession_constraints([INBOUND, OUTBOUND])
+        violated = check_sequence([OUTBOUND, INBOUND], constraints)
+        assert violated == [Constraint(later=OUTBOUND, earlier=INBOUND)]
+        assert not topological_respects([OUTBOUND, INBOUND], constraints)

@@ -1,0 +1,77 @@
+"""Unit tests for repro.core.feasibility (§4.2.4 verdicts)."""
+
+from repro.core.feasibility import Verdict, check_feasibility
+from repro.workloads import (
+    example1,
+    example2,
+    example2_broker_trusts_source,
+    example2_source_trusts_broker,
+    poor_broker,
+    resale_chain,
+    simple_purchase,
+)
+
+
+class TestPaperVerdicts:
+    """The headline feasibility results, straight from the paper."""
+
+    def test_example1_feasible(self):
+        assert example1().feasibility().verdict is Verdict.FEASIBLE
+
+    def test_example2_not_shown_feasible(self):
+        assert example2().feasibility().verdict is Verdict.NOT_SHOWN_FEASIBLE
+
+    def test_source_trusts_broker_feasible(self):
+        assert example2_source_trusts_broker().feasibility().feasible
+
+    def test_broker_trusts_source_still_infeasible(self):
+        assert not example2_broker_trusts_source().feasibility().feasible
+
+    def test_poor_broker_infeasible(self):
+        assert not poor_broker().feasibility().feasible
+
+    def test_simple_purchase_feasible(self):
+        assert simple_purchase().feasibility().feasible
+
+
+class TestVerdictObject:
+    def test_accepts_interaction_graph(self):
+        problem = example1()
+        verdict = check_feasibility(problem.interaction, problem.trust)
+        assert verdict.feasible
+
+    def test_accepts_sequencing_graph(self):
+        sg = example1().sequencing_graph()
+        assert check_feasibility(sg).feasible
+
+    def test_blockages_empty_when_feasible(self):
+        assert example1().feasibility().blockages == ()
+
+    def test_blockages_populated_when_infeasible(self):
+        verdict = example2().feasibility()
+        assert len(verdict.blockages) == 2
+
+    def test_graph_accessor(self):
+        verdict = example1().feasibility()
+        assert len(verdict.graph.commitments) == 4
+
+    def test_explain_feasible_mentions_commit_order(self):
+        text = example1().feasibility().explain()
+        assert text.startswith("feasible")
+        assert "commit order" in text
+
+    def test_explain_infeasible_mentions_blockers(self):
+        text = example2().feasibility().explain()
+        assert "not shown feasible" in text
+        assert "blocked by red" in text
+
+
+class TestChains:
+    def test_solvent_chains_feasible_at_any_depth(self):
+        for n in (0, 1, 2, 5):
+            assert resale_chain(n_brokers=n, retail=100.0).feasibility().feasible, n
+
+    def test_poor_chains_infeasible_at_any_depth(self):
+        for n in (1, 2, 4):
+            verdict = resale_chain(n_brokers=n, retail=100.0, solvent=False).feasibility()
+            assert not verdict.feasible, n

@@ -1,0 +1,199 @@
+"""Unit tests for repro.core.indemnity (§6)."""
+
+import pytest
+
+from repro.core.execution import StepKind, recover_execution
+from repro.core.indemnity import (
+    apply_plan,
+    brute_force_minimal_plan,
+    commitment_cost,
+    greedy_order,
+    minimal_indemnity_plan,
+    offer_for,
+    plan_indemnities,
+    required_indemnity,
+    splittable_conjunctions,
+)
+from repro.core.parties import consumer
+from repro.errors import IndemnityError
+from repro.workloads import broker_bundle, example1, example2, figure7
+
+CONSUMER = consumer("Consumer")
+
+
+def _consumer_edges(problem):
+    """The consumer's bundle edges, by trusted-intermediary name."""
+    return {e.trusted.name: e for e in problem.interaction.edges if e.principal == CONSUMER}
+
+
+class TestAmounts:
+    def test_figure7_required_amounts(self, fig7):
+        edges = _consumer_edges(fig7)
+        # Indemnity = cost of the OTHER pieces: $50, $40, $30 for d1, d2, d3.
+        assert required_indemnity(fig7, edges["Trusted1"]) == 5000
+        assert required_indemnity(fig7, edges["Trusted3"]) == 4000
+        assert required_indemnity(fig7, edges["Trusted5"]) == 3000
+
+    def test_example2_required_amounts(self, ex2):
+        edges = _consumer_edges(ex2)
+        assert required_indemnity(ex2, edges["Trusted1"]) == 2200  # price of d2
+        assert required_indemnity(ex2, edges["Trusted3"]) == 1200  # price of d1
+
+    def test_single_commitment_has_no_bundle(self, ex1):
+        edge = ex1.interaction.find_edge("Consumer", "Trusted1")
+        with pytest.raises(IndemnityError, match="single commitment"):
+            required_indemnity(ex1, edge)
+
+    def test_commitment_cost_money_vs_goods(self, ex2):
+        pay_edge = ex2.interaction.find_edge("Consumer", "Trusted1")
+        give_edge = ex2.interaction.find_edge("Broker1", "Trusted1")
+        assert commitment_cost(pay_edge) == 1200
+        assert commitment_cost(give_edge) == 0
+
+    def test_foreign_edge_rejected(self, fig7, ex2):
+        stray = ex2.interaction.find_edge("Consumer", "Trusted1")
+        with pytest.raises(IndemnityError):
+            required_indemnity(fig7, stray)
+
+
+class TestOffers:
+    def test_offeror_is_counterpart_broker(self, fig7):
+        edges = _consumer_edges(fig7)
+        offer = offer_for(fig7, edges["Trusted1"])
+        assert offer.offeror.name == "Broker1"
+        assert offer.beneficiary.name == "Consumer"
+        assert offer.via.name == "Trusted1"
+        assert offer.amount_cents == 5000
+
+    def test_offer_actions_are_escrow_and_refund(self, fig7):
+        offer = offer_for(fig7, _consumer_edges(fig7)["Trusted1"])
+        deposit = offer.deposit_action()
+        assert deposit.sender.name == "Broker1"
+        assert deposit.recipient.name == "Trusted1"
+        assert deposit.item.cents == 5000
+        assert offer.refund_action() == deposit.inverse()
+
+    def test_offer_str_mentions_amount(self, fig7):
+        offer = offer_for(fig7, _consumer_edges(fig7)["Trusted1"])
+        assert "$50.00" in str(offer)
+
+
+class TestFigure7Orderings:
+    """The paper's $90-vs-$70 ordering effect."""
+
+    def test_order1_b1_then_b2_costs_90(self, fig7):
+        edges = _consumer_edges(fig7)
+        plan = plan_indemnities(fig7, [edges["Trusted1"], edges["Trusted3"], edges["Trusted5"]])
+        assert plan.feasible
+        assert plan.total_cents == 9000
+        assert len(plan.offers) == 2  # third piece needs no indemnity
+
+    def test_order2_b3_then_b2_costs_70(self, fig7):
+        edges = _consumer_edges(fig7)
+        plan = plan_indemnities(fig7, [edges["Trusted5"], edges["Trusted3"], edges["Trusted1"]])
+        assert plan.feasible
+        assert plan.total_cents == 7000
+
+    def test_intermediate_state_after_b1_still_infeasible(self, fig7):
+        # "Even after Broker #1 offers the indemnity, the transaction is not
+        # feasible, because the problem is essentially still a two broker
+        # problem between #2 and #3."
+        edges = _consumer_edges(fig7)
+        plan = plan_indemnities(
+            fig7, [edges["Trusted1"]], stop_when_feasible=False
+        )
+        assert not plan.feasible
+        assert plan.total_cents == 5000
+
+    def test_greedy_is_70(self, fig7):
+        plan = minimal_indemnity_plan(fig7)
+        assert plan.feasible
+        assert plan.total_cents == 7000
+
+    def test_greedy_matches_brute_force(self, fig7):
+        greedy = minimal_indemnity_plan(fig7)
+        brute = brute_force_minimal_plan(fig7)
+        assert greedy.total_cents == brute.total_cents
+
+    def test_greedy_order_is_descending_cost(self, fig7):
+        order = greedy_order(fig7, CONSUMER)
+        costs = [commitment_cost(e) for e in order]
+        assert costs == sorted(costs, reverse=True) == [3000, 2000, 1000]
+
+    def test_closed_form_total(self):
+        # total = (k-2)*S + c_min for a k-piece bundle of total cost S.
+        for prices in [(10.0, 20.0, 30.0), (5.0, 5.0, 5.0), (1.0, 2.0, 3.0, 4.0)]:
+            problem = broker_bundle(len(prices), prices)
+            plan = minimal_indemnity_plan(problem)
+            s = int(sum(prices) * 100)
+            c_min = int(min(prices) * 100)
+            assert plan.total_cents == (len(prices) - 2) * s + c_min
+            assert plan.feasible
+
+
+class TestExample2:
+    def test_one_indemnity_suffices(self, ex2):
+        # §6: "The exchange is feasible even if Broker #2 does not offer a
+        # similar indemnity."
+        edges = _consumer_edges(ex2)
+        plan = plan_indemnities(ex2, [edges["Trusted1"]])
+        assert plan.feasible
+        assert len(plan.offers) == 1
+        assert plan.offers[0].offeror.name == "Broker1"
+
+    def test_execution_with_plan(self, ex2):
+        edges = _consumer_edges(ex2)
+        plan = plan_indemnities(ex2, [edges["Trusted1"]])
+        base = recover_execution(plan.verdict.trace)
+        spliced = apply_plan(plan, base)
+        kinds = [s.kind for s in spliced.steps]
+        assert kinds[0] is StepKind.INDEMNITY_DEPOSIT
+        assert kinds[-1] is StepKind.INDEMNITY_REFUND
+        assert len(spliced) == len(base) + 2
+        assert spliced.violated_constraints() == []
+
+
+class TestValidation:
+    def test_splittable_conjunctions_detects_consumer(self, ex2, fig7, ex1):
+        assert [p.name for p in splittable_conjunctions(ex2)] == ["Consumer"]
+        assert [p.name for p in splittable_conjunctions(fig7)] == ["Consumer"]
+        # Example 1's only multi-commitment principal is the broker, whose
+        # conjunction carries a red edge (third type) — not splittable.
+        assert splittable_conjunctions(ex1) == ()
+
+    def test_empty_order_rejected(self, fig7):
+        with pytest.raises(IndemnityError, match="at least one"):
+            plan_indemnities(fig7, [])
+
+    def test_non_splittable_agent_rejected(self, ex1):
+        edge = ex1.interaction.find_edge("Broker", "Trusted1")
+        with pytest.raises(IndemnityError, match="splittable"):
+            plan_indemnities(ex1, [edge])
+
+    def test_mixed_owner_order_rejected(self, fig7):
+        edges = _consumer_edges(fig7)
+        foreign = fig7.interaction.find_edge("Broker1", "Trusted2")
+        with pytest.raises(IndemnityError, match="belongs to"):
+            plan_indemnities(fig7, [edges["Trusted1"], foreign])
+
+    def test_minimal_plan_needs_unique_conjunction(self, ex1):
+        with pytest.raises(IndemnityError, match="exactly one"):
+            minimal_indemnity_plan(ex1)
+
+    def test_apply_plan_requires_feasible(self, fig7, ex2):
+        edges = _consumer_edges(fig7)
+        partial = plan_indemnities(fig7, [edges["Trusted1"]], stop_when_feasible=False)
+        seq = example1().execution_sequence()
+        with pytest.raises(IndemnityError):
+            apply_plan(partial, seq)
+
+
+class TestPlanObject:
+    def test_describe_and_str(self, fig7):
+        plan = minimal_indemnity_plan(fig7)
+        text = str(plan)
+        assert "total $70.00" in text
+        assert "feasible" in text
+
+    def test_total_dollars(self, fig7):
+        assert minimal_indemnity_plan(fig7).total_dollars == 70.0

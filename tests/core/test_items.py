@@ -1,0 +1,67 @@
+"""Unit tests for repro.core.items."""
+
+import pytest
+
+from repro.core.items import Document, Money, cents, document, money
+from repro.errors import ModelError
+
+
+class TestDocument:
+    def test_document_is_not_money(self):
+        assert not document("d1").is_money
+
+    def test_equality_by_label(self):
+        assert document("d") == document("d")
+        assert document("d") != document("e")
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(ModelError):
+            Document("")
+
+    def test_str_is_label(self):
+        assert str(document("patent-text")) == "patent-text"
+
+
+class TestMoney:
+    def test_money_is_money(self):
+        assert money(10).is_money
+
+    def test_dollars_to_cents(self):
+        assert money(10).cents == 1000
+        assert money(12.5).cents == 1250
+        assert money(0.01).cents == 1
+
+    def test_rounding_avoids_float_drift(self):
+        # 0.1 + 0.2 style inputs must land on exact cents.
+        assert money(0.29).cents == 29
+        assert money(1.005).cents in (100, 101)  # round-half on binary floats
+
+    def test_cents_constructor(self):
+        assert cents(2500).cents == 2500
+        assert cents(2500).dollars == 25.0
+
+    def test_display_format(self):
+        assert str(money(10)) == "$10.00"
+        assert str(cents(105)) == "$1.05"
+
+    def test_tag_disambiguates_equal_amounts(self):
+        assert money(10, tag="a") != money(10, tag="b")
+        assert money(10, tag="a").cents == money(10, tag="b").cents
+
+    def test_untagged_equal_amounts_are_equal(self):
+        assert money(10) == money(10)
+
+    def test_negative_amount_rejected(self):
+        with pytest.raises(ModelError):
+            money(-1)
+        with pytest.raises(ModelError):
+            cents(-1)
+
+    def test_zero_is_allowed(self):
+        assert money(0).cents == 0
+
+    def test_money_and_document_never_equal(self):
+        assert money(10) != document("$10.00")
+
+    def test_hashable(self):
+        assert len({money(10), money(10), money(20)}) == 2

@@ -1,0 +1,116 @@
+"""Unit tests for the §9 trust-hierarchy mediation planner."""
+
+import pytest
+
+from repro.core.items import document, money
+from repro.core.mediation import (
+    NoCommonIntermediaryError,
+    hierarchical_closure,
+    hierarchy_study,
+    mediated_problem,
+    plan_mediation,
+    usable_intermediaries,
+)
+from repro.core.parties import broker, consumer, trusted
+from repro.core.trust import TrustRelation
+
+A = consumer("a")
+B = broker("b")
+T1, T2, T3 = trusted("t1"), trusted("t2"), trusted("t3")
+POOL = [T1, T2, T3]
+
+
+class TestClosure:
+    def test_composes_through_trusted_components(self):
+        trust = TrustRelation.of([(A, T1), (T1, T2)])
+        closure = hierarchical_closure(trust)
+        assert closure.trusts(A, T2)
+
+    def test_chains_of_any_depth(self):
+        trust = TrustRelation.of([(A, T1), (T1, T2), (T2, T3)])
+        closure = hierarchical_closure(trust)
+        assert closure.trusts(A, T3)
+
+    def test_max_depth_bounds_chains(self):
+        trust = TrustRelation.of([(A, T1), (T1, T2), (T2, T3)])
+        shallow = hierarchical_closure(trust, max_depth=1)
+        assert shallow.trusts(A, T2)
+        assert not shallow.trusts(A, T3)
+
+    def test_principals_break_chains(self):
+        # a trusts b (a principal), b trusts t2: does NOT give a -> t2.
+        trust = TrustRelation.of([(A, B), (B, T2)])
+        closure = hierarchical_closure(trust)
+        assert not closure.trusts(A, T2)
+
+    def test_original_relation_untouched(self):
+        trust = TrustRelation.of([(A, T1), (T1, T2)])
+        hierarchical_closure(trust)
+        assert not trust.trusts(A, T2)
+
+    def test_closure_is_idempotent(self):
+        trust = TrustRelation.of([(A, T1), (T1, T2), (T2, T3)])
+        once = hierarchical_closure(trust)
+        twice = hierarchical_closure(once)
+        assert set(once) == set(twice)
+
+
+class TestPlanning:
+    def test_direct_preferred_over_hierarchy(self):
+        trust = TrustRelation.of([(A, T1), (B, T1), (A, T2), (T2, T3), (B, T3)])
+        plan = plan_mediation(A, B, trust, POOL)
+        assert plan.via == T1
+        assert not plan.used_hierarchy
+
+    def test_hierarchy_used_when_needed(self):
+        trust = TrustRelation.of([(A, T1), (T1, T2), (B, T2)])
+        plan = plan_mediation(A, B, trust, POOL)
+        assert plan.via == T2
+        assert plan.used_hierarchy
+
+    def test_no_path_raises(self):
+        trust = TrustRelation.of([(A, T1), (B, T2)])
+        with pytest.raises(NoCommonIntermediaryError):
+            plan_mediation(A, B, trust, POOL)
+
+    def test_usable_intermediaries_filtering(self):
+        trust = TrustRelation.of([(A, T1), (B, T1), (A, T2)])
+        assert usable_intermediaries(A, B, trust, POOL, hierarchy=False) == (T1,)
+
+    def test_mediated_problem_is_feasible(self):
+        trust = TrustRelation.of([(A, T1), (T1, T2), (B, T2)])
+        problem, plan = mediated_problem(
+            "bridged", A, money(10), B, document("d"), trust, POOL
+        )
+        assert plan.used_hierarchy
+        assert problem.feasibility().feasible
+        assert len(problem.execution_sequence()) == 5
+
+    def test_mediated_problem_simulates_safely(self):
+        from repro.sim import evaluate_safety, simulate
+
+        trust = TrustRelation.of([(A, T1), (T1, T2), (B, T2)])
+        problem, _ = mediated_problem(
+            "bridged", A, money(10), B, document("d"), trust, POOL
+        )
+        report = evaluate_safety(problem, simulate(problem))
+        assert report.honest_parties_safe()
+
+
+class TestHierarchyStudy:
+    def test_hierarchy_never_hurts(self):
+        for seed in range(5):
+            row = hierarchy_study(seed=seed)
+            assert row.pairs_hierarchical >= row.pairs_direct
+            assert row.pairs_total == 28  # C(8, 2)
+
+    def test_hierarchy_unlocks_pairs_somewhere(self):
+        unlocked = [hierarchy_study(seed=s).unlocked_by_hierarchy for s in range(5)]
+        assert any(u > 0 for u in unlocked)
+
+    def test_no_inter_trust_means_no_unlock(self):
+        row = hierarchy_study(inter_trust_probability=0.0, seed=1)
+        assert row.unlocked_by_hierarchy == 0
+
+    def test_deterministic(self):
+        assert hierarchy_study(seed=4) == hierarchy_study(seed=4)

@@ -1,0 +1,186 @@
+"""Unit tests for repro.core.states: the §2.3 state/acceptance formalism."""
+
+import pytest
+
+from repro.core.actions import give, notify, pay
+from repro.core.items import document, money
+from repro.core.parties import consumer, producer, trusted
+from repro.core.states import AcceptanceSpec, ExchangeState, purchase_acceptance
+from repro.errors import ModelError
+
+C = consumer("c")
+P = producer("p")
+T = trusted("t")
+D = document("d")
+M = money(10)
+
+PAY = pay(C, P, M)
+DELIVER = give(P, C, D)
+
+
+class TestExchangeState:
+    def test_empty_is_status_quo(self):
+        assert ExchangeState.empty().is_status_quo
+
+    def test_with_action_accumulates(self):
+        s = ExchangeState.empty().with_action(PAY)
+        assert not s.is_status_quo
+        assert PAY in s.actions
+
+    def test_with_action_returns_new_state(self):
+        s = ExchangeState.empty()
+        s.with_action(PAY)
+        assert s.is_status_quo  # original untouched
+
+    def test_of_builds_from_iterable(self):
+        s = ExchangeState.of([PAY, DELIVER])
+        assert len(s) == 2
+
+    def test_actions_by_uses_performer(self):
+        s = ExchangeState.of([PAY, DELIVER])
+        assert s.actions_by(C) == frozenset({PAY})
+        assert s.actions_by(P) == frozenset({DELIVER})
+
+    def test_inverted_action_performed_by_returner(self):
+        refund = pay(C, T, M).inverse()  # t returns the money
+        s = ExchangeState.of([refund])
+        assert s.actions_by(T) == frozenset({refund})
+        assert s.actions_by(C) == frozenset()
+
+    def test_transfers_excludes_notify(self):
+        s = ExchangeState.of([PAY, notify(T, C)])
+        assert s.transfers() == frozenset({PAY})
+
+    def test_contains(self):
+        s = ExchangeState.of([PAY, DELIVER])
+        assert s.contains([PAY])
+        assert not s.contains([PAY, notify(T, C)])
+
+    def test_net_uncompensated_cancels_pairs(self):
+        deposit = pay(C, T, M)
+        s = ExchangeState.of([deposit, deposit.inverse()])
+        assert s.net_uncompensated() == frozenset()
+
+    def test_net_uncompensated_keeps_unmatched(self):
+        deposit = pay(C, T, M)
+        assert ExchangeState.of([deposit]).net_uncompensated() == frozenset({deposit})
+
+    def test_net_uncompensated_keeps_dangling_reversal(self):
+        reversal = pay(C, T, M).inverse()
+        assert ExchangeState.of([reversal]).net_uncompensated() == frozenset({reversal})
+
+    def test_str_of_empty(self):
+        assert str(ExchangeState.empty()) == "{}"
+
+    def test_iterable(self):
+        assert set(ExchangeState.of([PAY])) == {PAY}
+
+
+class TestAcceptanceSpec:
+    def _customer_spec(self):
+        return AcceptanceSpec(
+            party=C,
+            acceptable=(
+                frozenset({DELIVER, PAY}),
+                frozenset(),
+                frozenset({DELIVER}),
+                frozenset({PAY, PAY.inverse()}),
+            ),
+            preferred=frozenset({DELIVER, PAY}),
+        )
+
+    def test_preferred_must_be_acceptable(self):
+        with pytest.raises(ModelError):
+            AcceptanceSpec(C, (frozenset(),), frozenset({PAY}))
+
+    def test_accepts_each_paper_state(self):
+        spec = self._customer_spec()
+        # The four §2.3 customer states: completed, status quo, windfall, refund.
+        assert spec.accepts(ExchangeState.of([DELIVER, PAY]))
+        assert spec.accepts(ExchangeState.empty())
+        assert spec.accepts(ExchangeState.of([DELIVER]))
+        assert spec.accepts(ExchangeState.of([PAY, PAY.inverse()]))
+
+    def test_rejects_paying_without_goods(self):
+        spec = self._customer_spec()
+        assert not spec.accepts(ExchangeState.of([PAY]))
+
+    def test_superset_with_foreign_actions_still_accepts(self):
+        # Extra actions performed by OTHER parties do not hurt the customer.
+        spec = self._customer_spec()
+        extra = give(P, T, document("unrelated"))
+        assert spec.accepts(ExchangeState.of([DELIVER, PAY, extra]))
+
+    def test_own_extra_action_blocks_acceptance(self):
+        # The customer paid twice: no description covers the second payment.
+        spec = self._customer_spec()
+        second = pay(C, T, money(10, tag="again"))
+        assert not spec.accepts(ExchangeState.of([DELIVER, PAY, second]))
+
+    def test_matching_description_returns_a_match(self):
+        # {DELIVER} matches both the windfall description and (because the
+        # customer performed nothing) the status-quo one; either is fine.
+        spec = self._customer_spec()
+        match = spec.matching_description(ExchangeState.of([DELIVER]))
+        assert match in (frozenset(), frozenset({DELIVER}))
+        assert spec.matching_description(ExchangeState.of([PAY])) is None
+
+    def test_preferred_detection(self):
+        spec = self._customer_spec()
+        assert spec.is_preferred(ExchangeState.of([DELIVER, PAY]))
+        assert not spec.is_preferred(ExchangeState.empty())
+
+
+class TestPurchaseAcceptance:
+    def test_direct_purchase_has_both_parties(self):
+        specs = purchase_acceptance(C, P, D, M)
+        assert set(specs) == {C, P}
+
+    def test_direct_customer_matches_paper(self):
+        spec = purchase_acceptance(C, P, D, M)[C]
+        assert spec.accepts(ExchangeState.of([give(P, C, D), pay(C, P, M)]))
+        assert spec.accepts(ExchangeState.empty())
+        assert spec.accepts(ExchangeState.of([give(P, C, D)]))
+        assert spec.accepts(ExchangeState.of([pay(C, P, M), pay(C, P, M).inverse()]))
+        assert not spec.accepts(ExchangeState.of([pay(C, P, M)]))
+
+    def test_direct_seller_windfall_is_payment_without_goods(self):
+        spec = purchase_acceptance(C, P, D, M)[P]
+        assert spec.accepts(ExchangeState.of([pay(C, P, M)]))
+        assert not spec.accepts(ExchangeState.of([give(P, C, D)]))
+
+    def test_mediated_purchase_includes_trusted_spec(self):
+        specs = purchase_acceptance(C, P, D, M, via=T)
+        assert set(specs) == {C, P, T}
+
+    def test_mediated_customer_accepts_goods_from_either_source(self):
+        spec = purchase_acceptance(C, P, D, M, via=T)[C]
+        paid = pay(C, T, M)
+        assert spec.accepts(ExchangeState.of([give(T, C, D), paid]))
+        assert spec.accepts(ExchangeState.of([give(P, C, D), paid]))
+
+    def test_mediated_trusted_component_backout_states(self):
+        spec = purchase_acceptance(C, P, D, M, via=T)[T]
+        paid = pay(C, T, M)
+        deposited = give(P, T, D)
+        assert spec.accepts(ExchangeState.of([paid, paid.inverse()]))
+        assert spec.accepts(ExchangeState.of([deposited, deposited.inverse()]))
+        assert spec.accepts(ExchangeState.empty())
+
+    def test_held_money_is_the_customers_problem_not_the_components(self):
+        # Under the literal §2.3 semantics, a state where T merely *holds*
+        # the customer's money contains no action performed by T, so T's
+        # status-quo description matches.  The violation is attributed to
+        # the customer, whose spec rejects paying without goods or refund.
+        specs = purchase_acceptance(C, P, D, M, via=T)
+        paid = pay(C, T, M)
+        state = ExchangeState.of([paid])
+        assert specs[T].accepts(state)
+        assert not specs[C].accepts(state)
+
+    def test_mediated_trusted_component_rejects_partial_release(self):
+        # T forwarded the goods but kept the payment: that IS an action by T
+        # outside every acceptable description.
+        specs = purchase_acceptance(C, P, D, M, via=T)
+        state = ExchangeState.of([pay(C, T, M), give(P, T, D), give(T, C, D)])
+        assert not specs[T].accepts(state)

@@ -1,0 +1,63 @@
+"""Unit tests for repro.core.trust (directed trust, §4.2.3)."""
+
+import pytest
+
+from repro.core.parties import broker, producer
+from repro.core.trust import TrustRelation
+from repro.errors import ModelError
+
+B = broker("b1")
+S = producer("s1")
+X = broker("b2")
+
+
+class TestTrustRelation:
+    def test_empty_relation_trusts_nothing(self):
+        rel = TrustRelation()
+        assert not rel.trusts(B, S)
+        assert len(rel) == 0
+
+    def test_add_is_directional(self):
+        rel = TrustRelation()
+        rel.add(S, B)
+        assert rel.trusts(S, B)
+        assert not rel.trusts(B, S)  # the paper's asymmetry
+
+    def test_add_mutual(self):
+        rel = TrustRelation()
+        rel.add_mutual(B, S)
+        assert rel.trusts(B, S) and rel.trusts(S, B)
+
+    def test_self_trust_rejected(self):
+        with pytest.raises(ModelError):
+            TrustRelation().add(B, B)
+
+    def test_remove(self):
+        rel = TrustRelation.of([(S, B)])
+        rel.remove(S, B)
+        assert not rel.trusts(S, B)
+
+    def test_remove_missing_is_noop(self):
+        TrustRelation().remove(S, B)
+
+    def test_of_builds_from_pairs(self):
+        rel = TrustRelation.of([(S, B), (X, B)])
+        assert rel.trusts(S, B) and rel.trusts(X, B)
+
+    def test_trustees_and_trusters(self):
+        rel = TrustRelation.of([(S, B), (S, X)])
+        assert rel.trustees_of(S) == frozenset({B, X})
+        assert rel.trusters_of(B) == frozenset({S})
+        assert rel.trusters_of(S) == frozenset()
+
+    def test_copy_is_independent(self):
+        rel = TrustRelation.of([(S, B)])
+        clone = rel.copy()
+        clone.add(B, S)
+        assert not rel.trusts(B, S)
+
+    def test_iteration_is_sorted_and_contains(self):
+        rel = TrustRelation.of([(X, B), (S, B)])
+        assert list(rel) == sorted([(S, B), (X, B)])
+        assert (S, B) in rel
+        assert (B, S) not in rel

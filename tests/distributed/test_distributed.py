@@ -1,0 +1,101 @@
+"""Tests for the §9 distributed reduction engine."""
+
+import pytest
+
+from repro.core.reduction import reduce_graph
+from repro.distributed import DistributedReduction, distributed_reduce
+from repro.workloads import (
+    RandomProblemConfig,
+    example1,
+    example2,
+    example2_broker_trusts_source,
+    example2_source_trusts_broker,
+    figure7,
+    poor_broker,
+    random_problem,
+    resale_chain,
+    simple_purchase,
+)
+
+PAPER_CASES = [
+    (simple_purchase, True),
+    (example1, True),
+    (example2, False),
+    (poor_broker, False),
+    (figure7, False),
+    (example2_source_trusts_broker, True),
+    (example2_broker_trusts_source, False),
+]
+
+
+class TestAgreementWithCentralized:
+    @pytest.mark.parametrize(
+        "factory,expected", PAPER_CASES, ids=[f.__name__ for f, _ in PAPER_CASES]
+    )
+    def test_paper_examples(self, factory, expected):
+        problem = factory()
+        trace = distributed_reduce(problem.sequencing_graph())
+        assert trace.feasible == expected
+
+    @pytest.mark.parametrize("n", [0, 1, 3, 8])
+    def test_chains(self, n):
+        problem = resale_chain(n, retail=100.0)
+        assert distributed_reduce(problem.sequencing_graph()).feasible
+
+    def test_random_topologies(self):
+        for seed in range(40):
+            config = RandomProblemConfig(
+                n_principals=9, n_exchanges=6, priority_probability=0.6
+            )
+            problem = random_problem(config, seed=seed)
+            graph = problem.sequencing_graph()
+            central = reduce_graph(graph).feasible
+            assert distributed_reduce(graph).feasible == central, seed
+
+    def test_remaining_edges_match_centralized_on_example2(self):
+        graph = example2().sequencing_graph()
+        assert distributed_reduce(graph).remaining == reduce_graph(graph).remaining
+
+
+class TestProtocolProperties:
+    def test_no_agent_removes_foreign_edges(self):
+        graph = example1().sequencing_graph()
+        trace = distributed_reduce(graph)
+        for party, removed in trace.removed_by.items():
+            for edge in removed:
+                assert edge.conjunction.agent == party
+
+    def test_every_edge_removed_exactly_once(self):
+        graph = example1().sequencing_graph()
+        trace = distributed_reduce(graph)
+        removed = [e for edges in trace.removed_by.values() for e in edges]
+        assert len(removed) == len(set(removed)) == len(graph.edges)
+
+    def test_message_count_bounded_by_edges(self):
+        # At most one notification per removed edge (only edges whose
+        # commitment has a live remote side generate one).
+        for factory, _ in PAPER_CASES:
+            graph = factory().sequencing_graph()
+            trace = distributed_reduce(graph)
+            total_removed = sum(len(v) for v in trace.removed_by.values())
+            assert trace.messages <= total_removed
+
+    def test_rounds_grow_with_chain_depth(self):
+        shallow = distributed_reduce(resale_chain(1, retail=100.0).sequencing_graph())
+        deep = distributed_reduce(resale_chain(6, retail=100.0).sequencing_graph())
+        assert deep.rounds > shallow.rounds
+
+    def test_persona_clause_ablation(self):
+        graph = example2_source_trusts_broker().sequencing_graph()
+        assert distributed_reduce(graph, enable_persona_clause=True).feasible
+        assert not distributed_reduce(graph, enable_persona_clause=False).feasible
+
+    def test_runner_object_reusable_state(self):
+        graph = example1().sequencing_graph()
+        runner = DistributedReduction(graph)
+        trace = runner.run()
+        assert trace.feasible
+        # Re-running on the quiesced state changes nothing.
+        again = runner.run()
+        assert again.feasible
+        assert again.remaining == trace.remaining

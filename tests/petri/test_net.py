@@ -1,0 +1,110 @@
+"""Unit tests for the Petri-net core (places, transitions, markings)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.petri import Marking, PetriNet, Transition, fire_sequence, reachable_markings
+
+
+class TestMarking:
+    def test_of_drops_zero_counts(self):
+        m = Marking.of({"a": 1, "b": 0})
+        assert m.get("a") == 1
+        assert m.get("b") == 0
+        assert m.as_dict() == {"a": 1}
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ModelError):
+            Marking.of({"a": -1})
+
+    def test_covers(self):
+        big = Marking.of({"a": 2, "b": 1})
+        small = Marking.of({"a": 1})
+        assert big.covers(small)
+        assert not small.covers(big)
+        assert big.covers(Marking.of({}))
+
+    def test_add_and_clamp(self):
+        m = Marking.of({"a": 1}).add({"a": 4, "b": 2})
+        assert m.get("a") == 5
+        clamped = m.clamp(3)
+        assert clamped.get("a") == 3 and clamped.get("b") == 2
+
+    def test_hashable_and_equal(self):
+        assert Marking.of({"a": 1, "b": 2}) == Marking.of({"b": 2, "a": 1})
+        assert len({Marking.of({"a": 1}), Marking.of({"a": 1})}) == 1
+
+    def test_str(self):
+        assert str(Marking.of({})) == "{}"
+        assert "a:1" in str(Marking.of({"a": 1}))
+
+
+class TestTransition:
+    def test_make_from_iterable_counts_duplicates(self):
+        t = Transition.make("t", ["a", "a", "b"], ["c"])
+        assert dict(t.consumes) == {"a": 2, "b": 1}
+
+    def test_enabled_and_fire(self):
+        t = Transition.make("t", {"a": 1}, {"b": 1})
+        m = Marking.of({"a": 1})
+        assert t.enabled(m)
+        fired = t.fire(m)
+        assert fired == Marking.of({"b": 1})
+
+    def test_fire_disabled_raises(self):
+        t = Transition.make("t", {"a": 1}, {"b": 1})
+        with pytest.raises(ModelError):
+            t.fire(Marking.of({}))
+
+    def test_self_loop_preserves_token(self):
+        t = Transition.make("t", {"a": 1}, {"a": 1, "b": 1})
+        fired = t.fire(Marking.of({"a": 1}))
+        assert fired.get("a") == 1 and fired.get("b") == 1
+
+    def test_str_renders_weights(self):
+        t = Transition.make("t", {"a": 2}, {"b": 1})
+        assert "2·a" in str(t)
+
+
+class TestPetriNet:
+    def _net(self):
+        return PetriNet(
+            [
+                Transition.make("t1", {"a": 1}, {"b": 1}),
+                Transition.make("t2", {"b": 1}, {"c": 1}),
+            ],
+            Marking.of({"a": 1}),
+        )
+
+    def test_places_collected(self):
+        assert self._net().places == {"a", "b", "c"}
+
+    def test_duplicate_transition_names_rejected(self):
+        with pytest.raises(ModelError):
+            PetriNet(
+                [
+                    Transition.make("t", {"a": 1}, {}),
+                    Transition.make("t", {"b": 1}, {}),
+                ],
+                Marking.of({}),
+            )
+
+    def test_enabled_transitions(self):
+        net = self._net()
+        assert [t.name for t in net.enabled_transitions(net.initial)] == ["t1"]
+
+    def test_fire_sequence_helper(self):
+        final = fire_sequence(self._net(), ["t1", "t2"])
+        assert final == Marking.of({"c": 1})
+
+    def test_fire_sequence_unknown_name(self):
+        with pytest.raises(ModelError):
+            fire_sequence(self._net(), ["zap"])
+
+    def test_reachable_markings(self):
+        markings = reachable_markings(self._net())
+        assert markings == {
+            Marking.of({"a": 1}),
+            Marking.of({"b": 1}),
+            Marking.of({"c": 1}),
+        }

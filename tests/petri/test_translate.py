@@ -1,0 +1,161 @@
+"""Tests for the §7.4 exchange→Petri translation and coverability.
+
+The headline property: the net's completion marking is coverable exactly
+when the sequencing-graph machinery shows the exchange feasible — on every
+worked example, every §4.2.3 trust variant, and under §6 indemnity plans.
+"""
+
+import pytest
+
+from repro.core.indemnity import minimal_indemnity_plan, plan_indemnities
+from repro.petri import (
+    Marking,
+    coverable,
+    exchange_completable,
+    guided_coverability,
+    saturate,
+    translate,
+)
+from repro.workloads import (
+    broker_bundle,
+    example1,
+    example2,
+    example2_broker_trusts_source,
+    example2_source_trusts_broker,
+    figure7,
+    poor_broker,
+    resale_chain,
+    simple_purchase,
+)
+
+AGREEMENT_CASES = [
+    (example1, True),
+    (example2, False),
+    (poor_broker, False),
+    (figure7, False),
+    (example2_source_trusts_broker, True),
+    (example2_broker_trusts_source, False),
+    (simple_purchase, True),
+    (lambda: resale_chain(3, retail=100.0), True),
+    (lambda: resale_chain(2, retail=100.0, solvent=False), False),
+]
+
+
+class TestAgreementWithSequencingGraphs:
+    @pytest.mark.parametrize(
+        "factory,expected", AGREEMENT_CASES, ids=[f.__name__ for f, _ in AGREEMENT_CASES]
+    )
+    def test_coverability_matches_feasibility(self, factory, expected):
+        problem = factory()
+        assert problem.feasibility().feasible == expected
+        result = exchange_completable(problem)
+        assert result.coverable == expected
+        assert not result.truncated
+
+    def test_positive_answers_carry_real_witnesses(self):
+        problem = example1()
+        net, target = translate(problem)
+        result = exchange_completable(problem)
+        from repro.petri import fire_sequence
+
+        final = fire_sequence(net, list(result.witness))
+        assert final.covers(target)
+
+    def test_witness_completes_both_exchanges(self):
+        result = exchange_completable(example1())
+        completes = [n for n in result.witness if n.startswith("complete:")]
+        assert sorted(completes) == ["complete:Trusted1", "complete:Trusted2"]
+
+
+class TestIndemnityUnlocking:
+    def test_example2_plan_unlocks_net(self):
+        problem = example2()
+        plan = plan_indemnities(
+            problem, [problem.interaction.find_edge("Consumer", "Trusted1")]
+        )
+        assert not exchange_completable(problem).coverable
+        assert exchange_completable(problem, plan).coverable
+
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_bundles_unlock_with_greedy_plan(self, k):
+        prices = tuple(float(10 * (i + 1)) for i in range(k))
+        problem = broker_bundle(k, prices)
+        assert not exchange_completable(problem).coverable
+        plan = minimal_indemnity_plan(problem)
+        assert exchange_completable(problem, plan).coverable
+
+
+class TestNetStructure:
+    def test_example1_shapes(self):
+        net, target = translate(example1())
+        names = {t.name for t in net.transitions}
+        assert "deposit:Consumer--Trusted1" in names
+        assert "assure:Broker--Trusted1" in names
+        assert "complete:Trusted2" in names
+        assert target == Marking.of({"done:Trusted1": 1, "done:Trusted2": 1})
+
+    def test_poor_broker_has_fund_transition(self):
+        net, _ = translate(poor_broker())
+        names = {t.name for t in net.transitions}
+        assert any(n.startswith("fund:Broker--Trusted2") for n in names)
+        # And the broker's wholesale money is NOT endowed.
+        endowed = dict(net.initial.counts)
+        assert not any(
+            place.startswith("holds:Broker:$10") for place in endowed
+        )
+
+    def test_solvent_broker_money_endowed(self):
+        net, _ = translate(example1())
+        assert any(
+            place.startswith("holds:Broker:$10") for place, _ in net.initial.counts
+        )
+
+    def test_reseller_goods_not_endowed(self):
+        net, _ = translate(example1())
+        endowed = {place for place, _ in net.initial.counts}
+        assert "holds:Producer:d" in endowed
+        assert "holds:Broker:d" not in endowed
+
+    def test_bundle_guards_require_sibling_assurance(self):
+        net, _ = translate(example2())
+        deposit = next(
+            t for t in net.transitions if t.name == "deposit:Consumer--Trusted1"
+        )
+        guard_places = [p for p, _ in deposit.consumes if p.startswith("assured:")]
+        assert guard_places == ["assured:Consumer--Trusted3"]
+
+    def test_persona_deposit_unguarded(self):
+        net, _ = translate(example2_source_trusts_broker())
+        deposit = next(
+            t for t in net.transitions if t.name == "deposit:Broker1--Trusted2"
+        )
+        assert not any(p.startswith("assured:") for p, _ in deposit.consumes)
+
+
+class TestSearchMachinery:
+    def test_saturation_sound_on_infeasible(self):
+        net, target = translate(example2())
+        markable, _ = saturate(net)
+        assert any(place not in markable for place, _ in target.counts)
+
+    def test_saturation_marks_feasible_targets(self):
+        net, target = translate(example1())
+        markable, _ = saturate(net)
+        assert all(place in markable for place, _ in target.counts)
+
+    def test_bfs_agrees_on_small_nets(self):
+        for factory, expected in [(simple_purchase, True), (example2, False)]:
+            net, target = translate(factory())
+            assert coverable(net, target, bound=1).coverable == expected
+
+    def test_guided_equals_bfs_on_example1(self):
+        net, target = translate(example1())
+        assert guided_coverability(net, target).coverable
+        assert coverable(net, target, bound=1).coverable
+
+    def test_target_above_bound_rejected(self):
+        from repro.errors import ModelError
+
+        net, _ = translate(example1())
+        with pytest.raises(ModelError):
+            coverable(net, Marking.of({"done:Trusted1": 5}), bound=1)

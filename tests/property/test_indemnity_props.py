@@ -1,0 +1,93 @@
+"""Property-based tests for §6 indemnity planning.
+
+* The greedy (descending-cost) ordering is never beaten by any permutation.
+* The closed form total = (k−2)·S + c_min holds for every bundle.
+* Every indemnity amount equals the sum of the *other* pieces' costs.
+* Plans make previously infeasible bundles feasible.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.indemnity import (
+    brute_force_minimal_plan,
+    commitment_cost,
+    greedy_order,
+    minimal_indemnity_plan,
+    plan_indemnities,
+    required_indemnity,
+)
+from repro.core.parties import consumer
+from repro.workloads import broker_bundle
+
+CONSUMER = consumer("Consumer")
+
+prices_strategy = st.lists(
+    st.integers(1, 200).map(float), min_size=2, max_size=4
+)
+
+
+def _bundle(prices):
+    return broker_bundle(len(prices), tuple(prices))
+
+
+@given(prices=prices_strategy)
+@settings(max_examples=40, deadline=None)
+def test_greedy_matches_brute_force(prices):
+    problem = _bundle(prices)
+    greedy = minimal_indemnity_plan(problem)
+    brute = brute_force_minimal_plan(problem)
+    assert greedy.feasible and brute.feasible
+    assert greedy.total_cents == brute.total_cents
+
+
+@given(prices=prices_strategy)
+@settings(max_examples=60, deadline=None)
+def test_closed_form(prices):
+    problem = _bundle(prices)
+    plan = minimal_indemnity_plan(problem)
+    total = int(round(sum(prices) * 100))
+    cheapest = int(round(min(prices) * 100))
+    assert plan.total_cents == (len(prices) - 2) * total + cheapest
+
+
+@given(prices=prices_strategy)
+@settings(max_examples=60, deadline=None)
+def test_amounts_cover_other_pieces(prices):
+    problem = _bundle(prices)
+    members = [e for e in problem.interaction.edges if e.principal == CONSUMER]
+    total = sum(commitment_cost(e) for e in members)
+    for edge in members:
+        assert required_indemnity(problem, edge) == total - commitment_cost(edge)
+
+
+@given(prices=prices_strategy)
+@settings(max_examples=40, deadline=None)
+def test_greedy_plan_unlocks_feasibility(prices):
+    problem = _bundle(prices)
+    if len(prices) >= 2:
+        assert not problem.feasibility().feasible
+    plan = minimal_indemnity_plan(problem)
+    assert plan.feasible
+    # k-1 offers: the last (cheapest) piece needs none.
+    assert len(plan.offers) == len(prices) - 1
+
+
+@given(prices=prices_strategy, data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_any_full_order_is_feasible_but_never_cheaper(prices, data):
+    problem = _bundle(prices)
+    members = [e for e in problem.interaction.edges if e.principal == CONSUMER]
+    order = data.draw(st.permutations(members))
+    plan = plan_indemnities(problem, list(order))
+    assert plan.feasible
+    assert plan.total_cents >= minimal_indemnity_plan(problem).total_cents
+
+
+@given(prices=prices_strategy)
+@settings(max_examples=40, deadline=None)
+def test_greedy_order_descends(prices):
+    problem = _bundle(prices)
+    order = greedy_order(problem, CONSUMER)
+    costs = [commitment_cost(e) for e in order]
+    assert costs == sorted(costs, reverse=True)

@@ -1,0 +1,104 @@
+"""Property-based tests for the §2 formalism (actions, states, money)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.actions import give, notify, pay, transfer
+from repro.core.items import cents, document, money
+from repro.core.parties import Party, Role
+from repro.core.states import ExchangeState
+
+names = st.from_regex(r"[A-Za-z][A-Za-z0-9_\-]{0,10}", fullmatch=True)
+principal_roles = st.sampled_from([Role.CONSUMER, Role.BROKER, Role.PRODUCER])
+
+
+@st.composite
+def distinct_parties(draw):
+    a = draw(names)
+    b = draw(names.filter(lambda n: n != a))
+    return Party(a, draw(principal_roles)), Party(b, draw(principal_roles))
+
+
+@st.composite
+def transfers(draw):
+    sender, recipient = draw(distinct_parties())
+    if draw(st.booleans()):
+        item = document(draw(names))
+    else:
+        item = cents(draw(st.integers(0, 10**6)), tag=draw(names))
+    return transfer(sender, recipient, item)
+
+
+@given(action=transfers())
+@settings(max_examples=100, deadline=None)
+def test_inverse_is_involution(action):
+    assert action.inverse().inverse() == action
+
+
+@given(action=transfers())
+@settings(max_examples=100, deadline=None)
+def test_inverse_compensates_original(action):
+    assert action.inverse().compensates(action)
+    assert action.compensates(action.inverse())
+
+
+@given(action=transfers())
+@settings(max_examples=100, deadline=None)
+def test_inverse_swaps_effective_direction(action):
+    inv = action.inverse()
+    assert inv.effective_sender == action.effective_recipient
+    assert inv.effective_recipient == action.effective_sender
+
+
+@given(action=transfers())
+@settings(max_examples=100, deadline=None)
+def test_pay_iff_money(action):
+    from repro.core.actions import ActionKind
+
+    assert (action.kind is ActionKind.PAY) == action.item.is_money
+
+
+@given(actions=st.lists(transfers(), max_size=8))
+@settings(max_examples=100, deadline=None)
+def test_state_is_order_insensitive(actions):
+    forward = ExchangeState.of(actions)
+    backward = ExchangeState.of(reversed(actions))
+    assert forward == backward
+
+
+@given(actions=st.lists(transfers(), max_size=6))
+@settings(max_examples=100, deadline=None)
+def test_compensated_pairs_net_out(actions):
+    state = ExchangeState.of(list(actions) + [a.inverse() for a in actions])
+    assert state.net_uncompensated() == frozenset()
+
+
+@given(actions=st.lists(transfers(), max_size=6, unique=True))
+@settings(max_examples=100, deadline=None)
+def test_uncompensated_equals_forward_set(actions):
+    state = ExchangeState.of(actions)
+    forwards = frozenset(a for a in actions if not a.inverted)
+    assert state.net_uncompensated() == forwards
+
+
+@given(amount=st.integers(0, 10**9))
+@settings(max_examples=100, deadline=None)
+def test_cents_roundtrip(amount):
+    assert cents(amount).cents == amount
+
+
+@given(dollars=st.integers(0, 10**6))
+@settings(max_examples=100, deadline=None)
+def test_whole_dollar_conversion_exact(dollars):
+    assert money(dollars).cents == dollars * 100
+
+
+@given(actions=st.lists(transfers(), max_size=8))
+@settings(max_examples=100, deadline=None)
+def test_actions_by_partitions_state(actions):
+    state = ExchangeState.of(actions)
+    union = set()
+    parties = {a.effective_sender for a in state.actions}
+    for party in parties:
+        union |= state.actions_by(party)
+    assert union == set(state.actions)

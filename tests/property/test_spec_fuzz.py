@@ -1,0 +1,122 @@
+"""Robustness fuzzing for the spec language.
+
+The contract: for *any* input text, the pipeline either produces a valid
+:class:`ExchangeProblem` or raises a :class:`SpecError` with a source
+position — it must never crash with an arbitrary exception, loop, or
+silently mis-parse.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SpecError
+from repro.spec import format_problem, load, parse, tokenize
+from repro.spec.tokens import TokenType
+
+printable_junk = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=200
+)
+any_text = st.text(max_size=200)
+
+
+@given(source=any_text)
+@settings(max_examples=150, deadline=None)
+def test_lexer_total(source):
+    try:
+        tokens = tokenize(source)
+    except SpecError:
+        return
+    assert tokens[-1].type is TokenType.EOF
+
+
+@given(source=printable_junk)
+@settings(max_examples=150, deadline=None)
+def test_parser_total(source):
+    try:
+        parse(source)
+    except SpecError:
+        return
+
+
+@given(source=printable_junk)
+@settings(max_examples=100, deadline=None)
+def test_load_total(source):
+    try:
+        problem = load(source)
+    except SpecError:
+        return
+    # Anything that loads must be a structurally valid problem.
+    problem.validate()
+
+
+@st.composite
+def keyword_salad(draw):
+    """Sequences of real tokens in random order — nastier than raw junk."""
+    words = st.sampled_from(
+        [
+            "problem",
+            "principal",
+            "consumer",
+            "broker",
+            "producer",
+            "trusted",
+            "exchange",
+            "via",
+            "pays",
+            "gives",
+            "tag",
+            "expects",
+            "deadline",
+            "priority",
+            "trust",
+            "{",
+            "}",
+            "->",
+            "$10.00",
+            "$1",
+            "42",
+            '"name"',
+            "Alice",
+            "Bob",
+            "T1",
+            "d",
+        ]
+    )
+    return " ".join(draw(st.lists(words, max_size=30)))
+
+
+@given(source=keyword_salad())
+@settings(max_examples=200, deadline=None)
+def test_token_salad_total(source):
+    try:
+        problem = load(source)
+    except SpecError:
+        return
+    problem.validate()
+
+
+@given(source=keyword_salad())
+@settings(max_examples=100, deadline=None)
+def test_successful_loads_roundtrip(source):
+    try:
+        problem = load(source)
+    except SpecError:
+        return
+    text = format_problem(problem)
+    again = load(text)
+    assert [e.label for e in again.interaction.edges] == [
+        e.label for e in problem.interaction.edges
+    ]
+
+
+@given(source=any_text)
+@settings(max_examples=100, deadline=None)
+def test_errors_carry_positions(source):
+    try:
+        load(source)
+    except SpecError as exc:
+        if exc.line is not None:
+            assert exc.line >= 1
+            assert "line" in str(exc)
+    except Exception as exc:  # pragma: no cover - the property under test
+        raise AssertionError(f"non-SpecError escaped: {type(exc).__name__}: {exc}")

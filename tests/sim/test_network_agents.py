@@ -1,0 +1,184 @@
+"""Unit tests for the network transport and principal agents."""
+
+import pytest
+
+from repro.core.actions import give, notify, pay
+from repro.core.items import document, money
+from repro.core.parties import consumer, producer, trusted
+from repro.core.protocol import PrincipalRole, SendInstruction
+from repro.errors import SimulationError
+from repro.sim.events import EventQueue
+from repro.sim.network import Network
+
+C = consumer("c")
+P = producer("p")
+T = trusted("t")
+D = document("d")
+M = money(10)
+
+
+def _network(latency=1.0):
+    queue = EventQueue()
+    return queue, Network(queue, latency=latency)
+
+
+def _drain(queue):
+    while (event := queue.pop()) is not None:
+        event.callback()
+
+
+class TestNetwork:
+    def test_delivery_after_latency(self):
+        queue, network = _network(latency=3.0)
+        received = []
+        network.register(T, received.append)
+        network.send(pay(C, T, M))
+        _drain(queue)
+        assert received == [pay(C, T, M)]
+        assert queue.now == 3.0
+
+    def test_negative_latency_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(SimulationError):
+            Network(queue, latency=-1.0)
+
+    def test_unregistered_recipient_rejected(self):
+        _, network = _network()
+        with pytest.raises(SimulationError, match="no node registered"):
+            network.send(pay(C, T, M))
+
+    def test_double_registration_rejected(self):
+        _, network = _network()
+        network.register(T, lambda a: None)
+        with pytest.raises(SimulationError, match="already registered"):
+            network.register(T, lambda a: None)
+
+    def test_inverted_transfer_routes_to_original_sender(self):
+        queue, network = _network()
+        received = []
+        network.register(C, received.append)
+        network.register(T, lambda a: None)
+        refund = pay(C, T, M).inverse()  # t returns money to c
+        network.send(refund)
+        _drain(queue)
+        assert received == [refund]
+
+    def test_stats_counters(self):
+        queue, network = _network()
+        network.register(T, lambda a: None)
+        network.register(C, lambda a: None)
+        network.send(pay(C, T, M))
+        network.send(notify(T, C))
+        _drain(queue)
+        assert network.stats.messages_sent == 2
+        assert network.stats.messages_delivered == 2
+        assert network.stats.transfers == 1
+        assert network.stats.notifies == 1
+        assert network.stats.by_sender[C] == 1
+        assert network.stats.by_sender[T] == 1
+
+    def test_delivery_log_records_times(self):
+        queue, network = _network(latency=2.0)
+        network.register(T, lambda a: None)
+        network.send(pay(C, T, M))
+        _drain(queue)
+        (delivery,) = network.log
+        assert delivery.sent_at == 0.0
+        assert delivery.delivered_at == 2.0
+
+
+class FakeLedger:
+    def __init__(self, allow=True):
+        self.allow = allow
+
+    def can_transfer(self, party, item):
+        return self.allow
+
+
+class FakeRuntime:
+    def __init__(self, allow=True):
+        self.ledger = FakeLedger(allow)
+        self.queue = EventQueue()
+        self.out = []
+
+    def transmit(self, action):
+        self.out.append(action)
+
+
+class TestPrincipalAgent:
+    def _role(self):
+        first = SendInstruction(1, pay(C, T, M), frozenset())
+        second = SendInstruction(3, give(C, trusted("t2"), D), frozenset({notify(T, C)}))
+        return PrincipalRole(C, (first, second))
+
+    def test_unguarded_instruction_fires_at_start(self):
+        from repro.sim.agents import HonestPrincipal
+
+        runtime = FakeRuntime()
+        agent = HonestPrincipal(C, self._role(), runtime)
+        agent.start()
+        assert runtime.out == [pay(C, T, M)]
+
+    def test_guarded_instruction_waits_for_observation(self):
+        from repro.sim.agents import HonestPrincipal
+
+        runtime = FakeRuntime()
+        agent = HonestPrincipal(C, self._role(), runtime)
+        agent.start()
+        assert len(runtime.out) == 1
+        agent.receive(notify(T, C))
+        assert len(runtime.out) == 2
+
+    def test_observation_with_deadline_still_matches_guard(self):
+        from dataclasses import replace
+
+        from repro.sim.agents import HonestPrincipal
+
+        runtime = FakeRuntime()
+        agent = HonestPrincipal(C, self._role(), runtime)
+        agent.start()
+        stamped = replace(notify(T, C), deadline=42.0)
+        agent.receive(stamped)
+        assert len(runtime.out) == 2
+
+    def test_asset_gating_blocks_until_funds(self):
+        from repro.sim.agents import HonestPrincipal
+
+        runtime = FakeRuntime(allow=False)
+        agent = HonestPrincipal(C, self._role(), runtime)
+        agent.start()
+        assert runtime.out == []
+        runtime.ledger.allow = True
+        agent.receive(give(P, C, document("irrelevant")))
+        assert len(runtime.out) >= 1
+
+    def test_withholder_stops_at_position(self):
+        from repro.sim.agents import AdversarialPrincipal, withholder
+
+        runtime = FakeRuntime()
+        agent = AdversarialPrincipal(C, self._role(), runtime, withholder(1))
+        agent.start()
+        agent.receive(notify(T, C))
+        assert runtime.out == [pay(C, T, M)]  # second instruction withheld
+
+    def test_wrong_item_sender_substitutes(self):
+        from repro.sim.agents import AdversarialPrincipal, wrong_item_sender
+
+        runtime = FakeRuntime()
+        strategy = wrong_item_sender("d", "junk")
+        agent = AdversarialPrincipal(C, self._role(), runtime, strategy)
+        agent.start()
+        agent.receive(notify(T, C))
+        assert runtime.out[1].item.label == "junk"
+
+    def test_slow_party_defers_into_queue(self):
+        from repro.sim.agents import AdversarialPrincipal, slow_party
+
+        runtime = FakeRuntime()
+        agent = AdversarialPrincipal(C, self._role(), runtime, slow_party(5.0))
+        agent.start()
+        assert runtime.out == []  # scheduled, not sent
+        while (event := runtime.queue.pop()) is not None:
+            event.callback()
+        assert runtime.out == [pay(C, T, M)]
+        assert runtime.queue.now == 5.0

@@ -1,0 +1,69 @@
+"""Unit tests for the safety monitor's acceptance criteria."""
+
+from repro.sim import evaluate_safety, simulate, withholder
+from repro.sim.safety import EdgeOutcome, SafetyReport
+from repro.workloads import example1, star
+
+
+class TestEdgeOutcome:
+    def test_ok_when_nothing_given(self, ex1):
+        edge = ex1.interaction.edges[0]
+        assert EdgeOutcome(edge, gave_permanently=False, received_expected=False).ok
+
+    def test_ok_when_received(self, ex1):
+        edge = ex1.interaction.edges[0]
+        assert EdgeOutcome(edge, gave_permanently=True, received_expected=True).ok
+
+    def test_bad_when_gave_and_got_nothing(self, ex1):
+        edge = ex1.interaction.edges[0]
+        assert not EdgeOutcome(edge, gave_permanently=True, received_expected=False).ok
+
+
+class TestReportShape:
+    def test_every_party_gets_a_verdict(self):
+        problem = example1()
+        report = evaluate_safety(problem, simulate(problem))
+        names = {v.party.name for v in report.verdicts}
+        assert names == {"Consumer", "Broker", "Producer", "Trusted1", "Trusted2"}
+
+    def test_verdict_of_lookup(self):
+        problem = example1()
+        report = evaluate_safety(problem, simulate(problem))
+        assert report.verdict_of("Broker").money_delta_cents == 200
+
+    def test_verdict_of_unknown_raises(self):
+        problem = example1()
+        report = evaluate_safety(problem, simulate(problem))
+        try:
+            report.verdict_of("Nobody")
+        except KeyError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("expected KeyError")
+
+    def test_describe_marks_ok(self):
+        problem = example1()
+        report = evaluate_safety(problem, simulate(problem))
+        text = "\n".join(report.describe())
+        assert "[OK ]" in text and "[BAD]" not in text
+
+    def test_honest_parties_safe_excludes_adversary(self):
+        problem = example1()
+        result = simulate(problem, adversaries={"Broker": withholder(0)}, deadline=50.0)
+        report = evaluate_safety(problem, result)
+        # Even if the broker's own verdict were BAD, the honest check holds.
+        assert report.honest_parties_safe(frozenset({"Broker"}))
+
+    def test_trusted_neutrality_checked(self):
+        problem = example1()
+        report = evaluate_safety(problem, simulate(problem))
+        for name in ("Trusted1", "Trusted2"):
+            verdict = report.verdict_of(name)
+            assert verdict.ok and verdict.money_delta_cents == 0
+
+    def test_bundle_principal_flagged_in_report_type(self):
+        # The producer in a star holds a bundle; honest run passes its gate.
+        problem = star(3)
+        report = evaluate_safety(problem, simulate(problem))
+        assert isinstance(report, SafetyReport)
+        assert report.verdict_of("Producer").ok

@@ -1,0 +1,97 @@
+"""Temporal semantics: deadlines, notification expiry, late arrivals (§2.2/§2.5)."""
+
+from repro.core.actions import ActionKind
+from repro.sim import Simulation, evaluate_safety, simulate, slow_party
+from repro.spec import load
+from repro.workloads import example1, simple_purchase
+
+
+class TestNotificationExpiry:
+    def test_notify_carries_expiry(self):
+        # First deposit lands at t=1; with deadline 20 the exchange reverses
+        # at t=21, so the notify promises completion until then.
+        result = simulate(simple_purchase(), deadline=20.0)
+        notifies = [a for a in result.delivered if a.kind is ActionKind.NOTIFY]
+        assert notifies and notifies[0].deadline == 21.0
+
+    def test_no_deadline_means_open_ended_notify(self):
+        result = simulate(simple_purchase(), deadline=None)
+        notifies = [a for a in result.delivered if a.kind is ActionKind.NOTIFY]
+        assert notifies and notifies[0].deadline is None
+
+
+class TestSlowParties:
+    def test_slow_producer_triggers_full_reversal(self):
+        problem = example1()
+        result = simulate(
+            problem, adversaries={"Producer": slow_party(100.0)}, deadline=10.0
+        )
+        assert result.completed_agents == frozenset()
+        assert {a.name for a in result.reversed_agents} == {"Trusted1", "Trusted2"}
+        report = evaluate_safety(problem, result)
+        assert report.honest_parties_safe(frozenset({"Producer"}))
+
+    def test_late_deposit_bounces_back(self):
+        problem = example1()
+        result = simulate(
+            problem, adversaries={"Producer": slow_party(100.0)}, deadline=10.0
+        )
+        producer = next(p for p in problem.interaction.parties if p.name == "Producer")
+        # The document went out late, was rejected, and came home.
+        assert result.final.documents_of(producer) == frozenset({"d"})
+
+    def test_mildly_slow_party_still_completes(self):
+        problem = example1()
+        result = simulate(
+            problem, adversaries={"Producer": slow_party(2.0)}, deadline=50.0
+        )
+        assert len(result.completed_agents) == 2
+
+    def test_slow_first_mover_merely_delays(self):
+        # The deadline clock arms at the FIRST deposit (§2.2: each deposit
+        # names how long it may be held) — a slow opener delays the whole
+        # exchange but cannot time it out.
+        problem = simple_purchase()
+        result = simulate(
+            problem, adversaries={"Customer": slow_party(30.0)}, deadline=10.0
+        )
+        assert len(result.completed_agents) == 1
+        report = evaluate_safety(problem, result)
+        assert report.honest_parties_safe(frozenset({"Customer"}))
+        customer = next(p for p in problem.interaction.parties if p.name == "Customer")
+        assert result.final.documents_of(customer) == frozenset({"d"})
+
+
+class TestPerExchangeDeadlines:
+    SRC = """
+    problem "deadlines"
+    principal consumer C
+    principal producer P
+    trusted T
+    exchange via T deadline 5 {
+        C pays $10.00
+        P gives d
+    }
+    """
+
+    def test_spec_deadline_drives_timeout(self):
+        problem = load(self.SRC)
+        # Global default is generous; the spec's 5-unit deadline must win.
+        result = simulate(
+            problem, adversaries={"P": slow_party(50.0)}, deadline=1000.0
+        )
+        assert result.reversed_agents
+        assert result.duration < 100.0
+
+    def test_spec_deadline_honest_run_completes(self):
+        problem = load(self.SRC)
+        result = simulate(problem, deadline=1000.0)
+        assert len(result.completed_agents) == 1
+
+    def test_interaction_deadline_api(self):
+        problem = load(self.SRC)
+        t = problem.interaction.trusted_components[0]
+        assert problem.interaction.deadline_of(t) == 5.0
+
+    def test_slow_party_strategy_describe(self):
+        assert "delays each send by 7.0" in slow_party(7.0).describe()

@@ -1,0 +1,215 @@
+"""Direct unit tests for the TrustedAgent escrow machine (§2.5).
+
+These drive the agent through a stub runtime, without the network or
+principals, to pin down each behaviour: acceptance, rejection, notify,
+release ordering, timeout reversal, and indemnity settlement.
+"""
+
+from repro.core.actions import ActionKind, give, pay
+from repro.core.indemnity import IndemnityOffer
+from repro.core.items import cents, document, money
+from repro.core.parties import consumer, producer, trusted
+from repro.core.protocol import TrustedExchangeSpec
+from repro.sim.events import EventQueue
+from repro.sim.trusted_agent import TrustedAgent
+
+C = consumer("c")
+P = producer("p")
+T = trusted("t")
+D = document("d")
+M = money(10)
+
+
+class StubRuntime:
+    """Collects transmissions; owns a real event queue for timeouts."""
+
+    def __init__(self):
+        self.queue = EventQueue()
+        self.out = []
+
+    def transmit(self, action):
+        self.out.append(action)
+
+    def fire_all(self):
+        while (event := self.queue.pop()) is not None:
+            event.callback()
+
+
+def _spec(deadline=None, indemnities=()):
+    return TrustedExchangeSpec(
+        agent=T,
+        deposits=((C, M), (P, D)),
+        entitlements=((C, D), (P, M)),
+        deadline=deadline,
+        indemnities=indemnities,
+    )
+
+
+def _agent(deadline=None, indemnities=()):
+    runtime = StubRuntime()
+    agent = TrustedAgent(_spec(deadline, indemnities), runtime)
+    return agent, runtime
+
+
+class TestDeposits:
+    def test_first_deposit_triggers_notify_to_other(self):
+        agent, runtime = _agent()
+        agent.receive(pay(C, T, M))
+        assert len(runtime.out) == 1
+        notice = runtime.out[0]
+        assert notice.kind is ActionKind.NOTIFY
+        assert notice.recipient == P
+
+    def test_second_deposit_releases_goods_before_money(self):
+        agent, runtime = _agent()
+        agent.receive(pay(C, T, M))
+        agent.receive(give(P, T, D))
+        assert agent.completed
+        releases = runtime.out[1:]
+        assert [a.item.is_money for a in releases] == [False, True]
+        assert releases[0].recipient == C and releases[1].recipient == P
+
+    def test_duplicate_deposit_bounced(self):
+        agent, runtime = _agent()
+        first = pay(C, T, M)
+        agent.receive(first)
+        agent.receive(first)
+        bounced = runtime.out[-1]
+        assert bounced == first.inverse()
+        assert agent.rejected == [first]
+
+    def test_unknown_depositor_bounced(self):
+        agent, runtime = _agent()
+        stranger = consumer("stranger")
+        stray = pay(stranger, T, M)
+        agent.receive(stray)
+        assert runtime.out == [stray.inverse()]
+
+    def test_wrong_item_bounced(self):
+        agent, runtime = _agent()
+        bogus = give(P, T, document("junk"))
+        agent.receive(bogus)
+        assert runtime.out == [bogus.inverse()]
+        assert not agent.received
+
+    def test_deposit_after_completion_bounced(self):
+        agent, runtime = _agent()
+        agent.receive(pay(C, T, M))
+        agent.receive(give(P, T, D))
+        late = pay(C, T, M)
+        agent.receive(late)
+        assert runtime.out[-1] == late.inverse()
+
+    def test_notify_sent_once_only(self):
+        agent, runtime = _agent()
+        agent.receive(pay(C, T, M))
+        bogus = give(P, T, document("junk"))
+        agent.receive(bogus)  # bounced; P still pending
+        notifies = [a for a in runtime.out if a.kind is ActionKind.NOTIFY]
+        assert len(notifies) == 1
+
+    def test_inverted_and_notify_inputs_ignored(self):
+        from repro.core.actions import notify as make_notify
+
+        agent, runtime = _agent()
+        agent.receive(pay(C, T, M).inverse())
+        agent.receive(make_notify(trusted("other"), C))
+        assert runtime.out == []
+
+
+class TestTimeout:
+    def test_timeout_reverses_held_deposits(self):
+        agent, runtime = _agent(deadline=5.0)
+        deposit = pay(C, T, M)
+        agent.receive(deposit)
+        runtime.fire_all()
+        assert agent.reversed
+        assert deposit.inverse() in runtime.out
+
+    def test_completion_cancels_timeout(self):
+        agent, runtime = _agent(deadline=5.0)
+        agent.receive(pay(C, T, M))
+        agent.receive(give(P, T, D))
+        runtime.fire_all()
+        assert agent.completed and not agent.reversed
+
+    def test_deposit_after_reversal_bounced(self):
+        agent, runtime = _agent(deadline=5.0)
+        agent.receive(pay(C, T, M))
+        runtime.fire_all()
+        late = give(P, T, D)
+        agent.receive(late)
+        assert runtime.out[-1] == late.inverse()
+
+    def test_no_deadline_never_reverses(self):
+        agent, runtime = _agent(deadline=None)
+        agent.receive(pay(C, T, M))
+        runtime.fire_all()
+        assert not agent.reversed
+
+    def test_notify_expiry_equals_timeout_time(self):
+        agent, runtime = _agent(deadline=5.0)
+        agent.receive(pay(C, T, M))
+        notice = runtime.out[0]
+        assert notice.deadline == 5.0  # queue starts at t=0
+
+
+class TestIndemnities:
+    def _offer(self):
+        graph_edge = None
+        # A synthetic edge object is unnecessary: offers only use parties
+        # and the amount inside the agent.
+        from repro.core.interaction import InteractionEdge
+
+        graph_edge = InteractionEdge(C, T, M)
+        return IndemnityOffer(
+            offeror=P, beneficiary=C, via=T, covers=graph_edge, amount_cents=500
+        )
+
+    def _escrow_action(self, offer):
+        return pay(P, T, cents(offer.amount_cents, tag=f"indemnity-{offer.covers.label}"))
+
+    def test_escrow_recognized_not_treated_as_deposit(self):
+        offer = self._offer()
+        agent, runtime = _agent(deadline=5.0, indemnities=(offer,))
+        agent.receive(self._escrow_action(offer))
+        assert P in agent.escrows
+        assert P not in agent.received
+        assert runtime.out == []  # no bounce, no notify
+
+    def test_escrow_refunded_on_completion(self):
+        offer = self._offer()
+        agent, runtime = _agent(deadline=50.0, indemnities=(offer,))
+        escrow = self._escrow_action(offer)
+        agent.receive(escrow)
+        agent.receive(pay(C, T, M))
+        agent.receive(give(P, T, D))
+        assert escrow.inverse() in runtime.out
+
+    def test_escrow_forfeited_when_beneficiary_performed(self):
+        offer = self._offer()
+        agent, runtime = _agent(deadline=5.0, indemnities=(offer,))
+        agent.receive(self._escrow_action(offer))
+        agent.receive(pay(C, T, M))  # beneficiary performs; offeror never does
+        runtime.fire_all()
+        forfeits = [
+            a
+            for a in runtime.out
+            if a.is_transfer
+            and not a.inverted
+            and a.sender == T
+            and a.recipient == C
+            and "indemnity" in a.item.label
+        ]
+        assert len(forfeits) == 1
+
+    def test_escrow_refunded_when_beneficiary_idle(self):
+        offer = self._offer()
+        agent, runtime = _agent(deadline=5.0, indemnities=(offer,))
+        escrow = self._escrow_action(offer)
+        agent.receive(escrow)
+        # Nobody deposits; timeout fires only if armed — escrows alone do
+        # not arm it, so force one deposit from the offeror side.
+        agent.receive(give(P, T, D))
+        runtime.fire_all()
+        assert escrow.inverse() in runtime.out

@@ -1,0 +1,247 @@
+"""Unit tests for spec semantic analysis, compilation, and formatting."""
+
+import pytest
+
+from repro.errors import SpecSemanticError
+from repro.spec import analyze, compile_spec, format_problem, load, load_file, parse
+from repro.workloads import example1, example2, figure7, poor_broker
+
+EX1_SRC = """
+problem "example1"
+principal consumer Consumer
+principal broker Broker
+principal producer Producer
+trusted Trusted1
+trusted Trusted2
+exchange via Trusted1 {
+    Consumer pays $12.00 tag retail
+    Broker gives d
+}
+exchange via Trusted2 {
+    Broker pays $10.00 tag wholesale
+    Producer gives d
+}
+priority Broker via Trusted1
+"""
+
+
+class TestAnalyzer:
+    def _spec(self, src):
+        return parse(src)
+
+    def test_good_spec_passes(self):
+        analyze(self._spec(EX1_SRC))
+
+    def test_duplicate_declaration(self):
+        with pytest.raises(SpecSemanticError, match="duplicate declaration"):
+            analyze(self._spec("principal consumer C principal broker C"))
+
+    def test_principal_trusted_name_clash(self):
+        with pytest.raises(SpecSemanticError, match="duplicate declaration"):
+            analyze(self._spec("principal consumer X trusted X"))
+
+    def test_unknown_intermediary(self):
+        src = "principal consumer C principal producer P exchange via T { C pays $1 P gives d }"
+        with pytest.raises(SpecSemanticError, match="not a declared trusted"):
+            analyze(self._spec(src))
+
+    def test_member_must_be_principal(self):
+        src = """
+        principal consumer C
+        trusted T trusted U
+        exchange via T { C pays $1 U gives d }
+        """
+        with pytest.raises(SpecSemanticError, match="not a declared principal"):
+            analyze(self._spec(src))
+
+    def test_member_duplicated_in_exchange(self):
+        src = """
+        principal consumer C principal producer P trusted T
+        exchange via T { C pays $1 C gives d P gives e }
+        """
+        with pytest.raises(SpecSemanticError, match="appears twice"):
+            analyze(self._spec(src))
+
+    def test_identical_provisions_need_tags(self):
+        src = """
+        principal consumer C principal producer P trusted T
+        exchange via T { C gives d P gives d }
+        """
+        with pytest.raises(SpecSemanticError, match="same item"):
+            analyze(self._spec(src))
+
+    def test_priority_must_reference_edge(self):
+        src = EX1_SRC + "priority Consumer via Trusted2\n"
+        with pytest.raises(SpecSemanticError, match="no exchange edge"):
+            analyze(self._spec(src))
+
+    def test_duplicate_priority(self):
+        src = EX1_SRC + "priority Broker via Trusted1\n"
+        with pytest.raises(SpecSemanticError, match="duplicate priority"):
+            analyze(self._spec(src))
+
+    def test_trust_references_declared_parties(self):
+        src = EX1_SRC + "trust Consumer -> Nobody\n"
+        with pytest.raises(SpecSemanticError, match="undeclared party"):
+            analyze(self._spec(src))
+
+    def test_trust_in_intermediaries_allowed(self):
+        # Hierarchy-of-trust statements (§9) are legal spec text.
+        src = EX1_SRC + "trust Consumer -> Trusted1\ntrust Trusted1 -> Trusted2\n"
+        analyze(self._spec(src))
+
+    def test_reflexive_trust_rejected(self):
+        src = EX1_SRC + "trust Broker -> Broker\n"
+        with pytest.raises(SpecSemanticError, match="itself"):
+            analyze(self._spec(src))
+
+    def test_idle_principal_rejected(self):
+        src = EX1_SRC + "principal broker Idle\n"
+        with pytest.raises(SpecSemanticError, match="participates in no"):
+            analyze(self._spec(src))
+
+    def test_idle_trusted_rejected(self):
+        src = EX1_SRC + "trusted Spare\n"
+        with pytest.raises(SpecSemanticError, match="mediates no"):
+            analyze(self._spec(src))
+
+
+class TestCompiler:
+    def test_compiles_example1_equivalent(self):
+        problem = load(EX1_SRC)
+        reference = example1()
+        assert problem.name == "example1"
+        assert [e.label for e in problem.interaction.edges] == [
+            e.label for e in reference.interaction.edges
+        ]
+        assert problem.feasibility().feasible
+
+    def test_execution_matches_reference(self):
+        problem = load(EX1_SRC)
+        assert len(problem.execution_sequence()) == 10
+
+    def test_trust_statements_compile(self):
+        src = EX1_SRC + "trust Producer -> Broker\n"
+        problem = load(src)
+        producer = next(p for p in problem.interaction.parties if p.name == "Producer")
+        broker = next(p for p in problem.interaction.parties if p.name == "Broker")
+        assert problem.trust.trusts(producer, broker)
+
+    def test_compile_unvalidated_multiparty(self):
+        src = """
+        principal consumer A principal consumer B principal producer P
+        trusted T
+        exchange via T {
+            A pays $1 expects d
+            B pays $2 expects $1.00
+            P gives d expects $2.00
+        }
+        """
+        problem = load(src, validate=False)
+        assert len(problem.interaction.edges) == 3
+        problem.validate(allow_multiparty=True)
+        ig = problem.interaction
+        assert ig.expects(ig.find_edge("A", "T")).label == "d"
+
+    def test_multiparty_without_expects_rejected(self):
+        src = """
+        principal consumer A principal consumer B principal producer P
+        trusted T
+        exchange via T { A pays $1 B pays $2 P gives d }
+        """
+        with pytest.raises(SpecSemanticError, match="must annotate every"):
+            load(src, validate=False)
+
+    def test_partial_expects_rejected(self):
+        src = """
+        principal consumer A principal producer P trusted T
+        exchange via T { A pays $1 expects d P gives d }
+        """
+        with pytest.raises(SpecSemanticError, match="lacks an 'expects'"):
+            load(src, validate=False)
+
+    def test_expects_must_be_deposited(self):
+        src = """
+        principal consumer A principal producer P trusted T
+        exchange via T { A pays $1 expects ghost P gives d expects $1.00 }
+        """
+        with pytest.raises(SpecSemanticError, match="no member deposits"):
+            load(src, validate=False)
+
+    def test_expects_own_deposit_rejected(self):
+        src = """
+        principal consumer A principal producer P trusted T
+        exchange via T { A pays $1 expects $1.00 P gives d expects $1.00 }
+        """
+        with pytest.raises(SpecSemanticError, match="own deposit"):
+            load(src, validate=False)
+
+    def test_deadline_compiles(self):
+        src = EX1_SRC.replace(
+            "exchange via Trusted1 {", "exchange via Trusted1 deadline 50 {"
+        )
+        problem = load(src)
+        ig = problem.interaction
+        t1 = next(t for t in ig.trusted_components if t.name == "Trusted1")
+        t2 = next(t for t in ig.trusted_components if t.name == "Trusted2")
+        assert ig.deadline_of(t1) == 50.0
+        assert ig.deadline_of(t2) is None
+
+    def test_zero_deadline_rejected(self):
+        src = EX1_SRC.replace(
+            "exchange via Trusted1 {", "exchange via Trusted1 deadline 0 {"
+        )
+        with pytest.raises(SpecSemanticError, match="positive"):
+            load(src)
+
+    def test_load_file(self, tmp_path):
+        path = tmp_path / "spec.exc"
+        path.write_text(EX1_SRC, encoding="utf-8")
+        assert load_file(str(path)).feasibility().feasible
+
+    def test_load_file_missing(self):
+        with pytest.raises(SpecSemanticError, match="cannot read"):
+            load_file("/nonexistent/spec.exc")
+
+    def test_compile_spec_direct(self):
+        problem = compile_spec(parse(EX1_SRC))
+        assert problem.name == "example1"
+
+
+class TestFormatterRoundTrip:
+    @pytest.mark.parametrize(
+        "factory", [example1, example2, poor_broker, figure7], ids=lambda f: f.__name__
+    )
+    def test_roundtrip_preserves_structure(self, factory):
+        original = factory()
+        text = format_problem(original)
+        recovered = load(text)
+        assert recovered.name == original.name
+        assert [e.label for e in recovered.interaction.edges] == [
+            e.label for e in original.interaction.edges
+        ]
+        assert {
+            (e.principal.name, e.trusted.name)
+            for e in recovered.interaction.priority_edges
+        } == {
+            (e.principal.name, e.trusted.name)
+            for e in original.interaction.priority_edges
+        }
+        assert recovered.feasibility().feasible == original.feasibility().feasible
+
+    def test_roundtrip_preserves_trust(self):
+        original = example2().with_trust("Source1", "Broker1")
+        recovered = load(format_problem(original))
+        assert {(a.name, b.name) for a, b in recovered.trust} == {("Source1", "Broker1")}
+        assert recovered.feasibility().feasible
+
+    def test_roundtrip_preserves_amounts(self):
+        original = figure7()
+        recovered = load(format_problem(original))
+        edge = recovered.interaction.find_edge("Consumer", "Trusted5")
+        assert edge.provides.cents == 3000
+
+    def test_formatted_text_is_stable(self):
+        once = format_problem(example1())
+        twice = format_problem(load(once))
+        assert once == twice

@@ -1,0 +1,110 @@
+"""Unit tests for the spec-language lexer."""
+
+import pytest
+
+from repro.errors import SpecSyntaxError
+from repro.spec import Token, TokenType, tokenize
+
+
+def _types(source):
+    return [t.type for t in tokenize(source)]
+
+
+def _values(source):
+    return [t.value for t in tokenize(source)[:-1]]  # drop EOF
+
+
+class TestBasics:
+    def test_empty_input_is_just_eof(self):
+        (token,) = tokenize("")
+        assert token.type is TokenType.EOF
+
+    def test_whitespace_only(self):
+        (token,) = tokenize("   \n\t  \n")
+        assert token.type is TokenType.EOF
+
+    def test_comments_skipped(self):
+        tokens = tokenize("# a comment\nbroker # trailing\n")
+        assert [t.type for t in tokens] == [TokenType.KEYWORD, TokenType.EOF]
+
+    def test_identifiers_and_keywords(self):
+        tokens = tokenize("principal consumer Alice")
+        assert tokens[0].is_keyword("principal")
+        assert tokens[1].is_keyword("consumer")
+        assert tokens[2].type is TokenType.IDENT
+        assert tokens[2].value == "Alice"
+
+    def test_identifier_with_digits_dash_underscore(self):
+        assert _values("Broker1 t-1 x_y") == ["Broker1", "t-1", "x_y"]
+
+    def test_braces_and_arrow(self):
+        assert _types("{ } ->")[:-1] == [
+            TokenType.LBRACE,
+            TokenType.RBRACE,
+            TokenType.ARROW,
+        ]
+
+    def test_strings(self):
+        tokens = tokenize('"hello world"')
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].value == "hello world"
+
+    def test_numbers(self):
+        tokens = tokenize("42")
+        assert tokens[0].type is TokenType.NUMBER
+        assert tokens[0].value == 42
+
+
+class TestAmounts:
+    @pytest.mark.parametrize(
+        "text,cents",
+        [("$12", 1200), ("$12.5", 1250), ("$12.50", 1250), ("$0.01", 1), ("$0", 0)],
+    )
+    def test_amounts_to_cents(self, text, cents):
+        token = tokenize(text)[0]
+        assert token.type is TokenType.AMOUNT
+        assert token.value == cents
+
+    def test_bare_dollar_rejected(self):
+        with pytest.raises(SpecSyntaxError, match="digits"):
+            tokenize("$ 12")
+
+    def test_three_decimals_rejected(self):
+        with pytest.raises(SpecSyntaxError, match="two decimal"):
+            tokenize("$1.234")
+
+    def test_trailing_dot_rejected(self):
+        with pytest.raises(SpecSyntaxError):
+            tokenize("$1.")
+
+
+class TestErrorsAndPositions:
+    def test_unexpected_character(self):
+        with pytest.raises(SpecSyntaxError, match="unexpected character"):
+            tokenize("principal @")
+
+    def test_unterminated_string(self):
+        with pytest.raises(SpecSyntaxError, match="unterminated"):
+            tokenize('"abc')
+
+    def test_lone_dash_rejected(self):
+        with pytest.raises(SpecSyntaxError, match="'->'"):
+            tokenize("a - b")
+
+    def test_positions_are_one_based(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_error_carries_position(self):
+        try:
+            tokenize("ok\n   @")
+        except SpecSyntaxError as exc:
+            assert exc.line == 2
+            assert "line 2" in str(exc)
+        else:  # pragma: no cover
+            pytest.fail("expected SpecSyntaxError")
+
+    def test_token_str(self):
+        assert "identifier" in str(Token(TokenType.IDENT, "x", 1, 1))
+        assert str(tokenize("")[0]) == "end of input"

@@ -1,0 +1,173 @@
+"""End-to-end tests for the repro-trust CLI."""
+
+import pytest
+
+from repro.cli import EXAMPLES, main
+from repro.spec import format_problem
+from repro.workloads import example1
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    path = tmp_path / "example1.exchange"
+    path.write_text(format_problem(example1()), encoding="utf-8")
+    return str(path)
+
+
+class TestCheck:
+    def test_feasible_exits_zero(self, capsys):
+        assert main(["check", "--example", "example1"]) == 0
+        out = capsys.readouterr().out
+        assert "FEASIBLE" in out
+
+    def test_infeasible_exits_one(self, capsys):
+        assert main(["check", "--example", "example2"]) == 1
+        out = capsys.readouterr().out
+        assert "blocked by red" in out
+
+    def test_spec_file_input(self, spec_file, capsys):
+        assert main(["check", spec_file]) == 0
+
+    def test_unknown_example_errors(self, capsys):
+        assert main(["check", "--example", "nope"]) == 2
+        assert "unknown example" in capsys.readouterr().err
+
+    def test_no_input_errors(self, capsys):
+        assert main(["check"]) == 2
+
+
+class TestSequence:
+    def test_prints_ten_steps(self, capsys):
+        assert main(["sequence", "--example", "example1"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 10
+        assert lines[0].startswith("1. ")
+
+
+class TestProtocol:
+    def test_prints_roles_and_escrows(self, capsys):
+        assert main(["protocol", "--example", "example1"]) == 0
+        out = capsys.readouterr().out
+        assert "role Consumer" in out
+        assert "escrow Trusted2" in out
+
+
+class TestIndemnify:
+    def test_figure7_plan(self, capsys):
+        assert main(["indemnify", "--example", "figure7"]) == 0
+        out = capsys.readouterr().out
+        assert "total $70.00" in out
+
+    def test_non_bundle_exits_one(self, capsys):
+        assert main(["indemnify", "--example", "example1"]) == 1
+
+
+class TestSimulate:
+    def test_honest_run(self, capsys):
+        assert main(["simulate", "--example", "example1"]) == 0
+        out = capsys.readouterr().out
+        assert "completed exchanges: 2" in out
+        assert "[OK ] Consumer" in out
+
+    def test_adversarial_run_still_safe(self, capsys):
+        code = main(["simulate", "--example", "example1", "--adversary", "Broker:0"])
+        assert code == 0
+        assert "[OK ]" in capsys.readouterr().out
+
+    def test_infeasible_example_auto_indemnifies(self, capsys):
+        assert main(["simulate", "--example", "example2"]) == 0
+        out = capsys.readouterr().out
+        assert "applying minimal indemnity plan" in out
+        assert "completed exchanges: 4" in out
+
+
+class TestRender:
+    def test_interaction_text(self, capsys):
+        assert main(["render", "--example", "example1"]) == 0
+        assert "principals:" in capsys.readouterr().out
+
+    def test_interaction_dot(self, capsys):
+        assert main(["render", "--example", "example1", "--dot"]) == 0
+        assert "shape=ellipse" in capsys.readouterr().out
+
+    def test_sequencing_reduced(self, capsys):
+        code = main(
+            ["render", "--example", "example1", "--what", "sequencing", "--reduced"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "commitments" in out and "FEASIBLE" in out
+
+    def test_sequencing_dot_with_reduction(self, capsys):
+        code = main(
+            [
+                "render",
+                "--example",
+                "example1",
+                "--what",
+                "sequencing",
+                "--dot",
+                "--reduced",
+            ]
+        )
+        assert code == 0
+        assert "style=dashed" in capsys.readouterr().out
+
+
+class TestCost:
+    def test_chain_table(self, capsys):
+        assert main(["cost", "--max-brokers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "ratio" in out
+
+    def test_single_problem(self, capsys):
+        assert main(["cost", "--example", "example1"]) == 0
+        assert "2.0x" in capsys.readouterr().out
+
+
+class TestExamples:
+    def test_lists_all(self, capsys):
+        assert main(["examples"]) == 0
+        out = capsys.readouterr().out
+        for name in EXAMPLES:
+            assert name in out
+        assert "infeasible" in out
+
+
+class TestExtensionCommands:
+    def test_distributed(self, capsys):
+        assert main(["distributed", "--example", "example1"]) == 0
+        out = capsys.readouterr().out
+        assert "centralized agrees: True" in out
+        assert "rounds=" in out
+
+    def test_distributed_infeasible_exits_one(self, capsys):
+        assert main(["distributed", "--example", "example2"]) == 1
+
+    def test_petri(self, capsys):
+        assert main(["petri", "--example", "example1", "--witness"]) == 0
+        out = capsys.readouterr().out
+        assert "coverable: True" in out
+        assert "complete:Trusted1" in out
+
+    def test_petri_infeasible_exits_one(self, capsys):
+        assert main(["petri", "--example", "example2"]) == 1
+        assert "coverable: False" in capsys.readouterr().out
+
+    def test_sweep_priority(self, capsys):
+        assert main(["sweep", "priority", "--samples", "5"]) == 0
+        assert "feasible" in capsys.readouterr().out
+
+    def test_sweep_trust(self, capsys):
+        assert main(["sweep", "trust", "--samples", "4"]) == 0
+        assert "unlocked" in capsys.readouterr().out
+
+    def test_sweep_gap(self, capsys):
+        assert main(["sweep", "gap", "--samples", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "unsound=0" in out
+
+    def test_petri_dot(self, capsys):
+        assert main(["petri", "--example", "example1", "--dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith('digraph "example1"')

@@ -1,0 +1,61 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    GraphError,
+    IndemnityError,
+    InfeasibleExchangeError,
+    ModelError,
+    ProtocolError,
+    ReductionError,
+    ReproError,
+    SimulationError,
+    SpecError,
+    SpecSemanticError,
+    SpecSyntaxError,
+)
+
+ALL = [
+    ModelError,
+    GraphError,
+    ReductionError,
+    InfeasibleExchangeError,
+    IndemnityError,
+    SpecError,
+    SpecSyntaxError,
+    SpecSemanticError,
+    SimulationError,
+    ProtocolError,
+]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", ALL)
+    def test_everything_is_a_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_spec_errors_nest(self):
+        assert issubclass(SpecSyntaxError, SpecError)
+        assert issubclass(SpecSemanticError, SpecError)
+
+    def test_one_catch_all(self):
+        with pytest.raises(ReproError):
+            raise IndemnityError("boom")
+
+
+class TestSpecErrorPositions:
+    def test_line_and_column_rendered(self):
+        exc = SpecSyntaxError("bad token", line=3, column=7)
+        assert str(exc) == "line 3, column 7: bad token"
+        assert exc.line == 3 and exc.column == 7
+
+    def test_line_only(self):
+        exc = SpecSemanticError("unknown name", line=5)
+        assert str(exc) == "line 5: unknown name"
+        assert exc.column is None
+
+    def test_positionless(self):
+        exc = SpecError("cannot read file")
+        assert str(exc) == "cannot read file"
+        assert exc.line is None

@@ -1,0 +1,110 @@
+"""Unit tests for the DOT and text renderers."""
+
+from repro.viz import (
+    interaction_text,
+    interaction_to_dot,
+    sequencing_text,
+    sequencing_to_dot,
+    trace_text,
+)
+from repro.workloads import example1, example2
+
+
+class TestInteractionDot:
+    def test_shapes_match_figures(self):
+        dot = interaction_to_dot(example1().interaction)
+        assert "shape=ellipse" in dot  # principals are circles
+        assert "shape=box" in dot  # trusted components are squares
+        assert dot.startswith('graph "interaction"')
+        assert dot.rstrip().endswith("}")
+
+    def test_priority_edges_red(self):
+        dot = interaction_to_dot(example1().interaction)
+        assert "color=red" in dot
+
+    def test_all_parties_present(self):
+        dot = interaction_to_dot(example2().interaction)
+        for name in ("Consumer", "Broker1", "Source2", "Trusted4"):
+            assert name in dot
+
+
+class TestSequencingDot:
+    def test_hexagon_commitments(self):
+        dot = sequencing_to_dot(example1().sequencing_graph())
+        assert "shape=hexagon" in dot
+        assert dot.count("shape=hexagon") == 4
+
+    def test_red_edge_styled(self):
+        dot = sequencing_to_dot(example1().sequencing_graph())
+        assert "style=bold, color=red" in dot.replace('"', "")
+
+    def test_trace_annotates_removed_edges(self):
+        problem = example1()
+        trace = problem.reduce()
+        dot = sequencing_to_dot(problem.sequencing_graph(), trace=trace)
+        assert "style=dashed" in dot
+        assert 'label="1"' in dot  # first elimination number
+
+    def test_persona_labelled(self):
+        from repro.workloads import example2_source_trusts_broker
+
+        dot = sequencing_to_dot(example2_source_trusts_broker().sequencing_graph())
+        assert "persona" in dot
+
+
+class TestTextRenderers:
+    def test_interaction_text(self):
+        lines = interaction_text(example1().interaction)
+        text = "\n".join(lines)
+        assert "principals:" in text
+        assert "Trusted1:" in text
+        assert "priority (red): Broker--Trusted1" in text
+
+    def test_sequencing_text(self):
+        text = "\n".join(sequencing_text(example1().sequencing_graph()))
+        assert "4 commitments" in text
+        assert "[RED  ]" in text
+
+    def test_trace_text_feasible(self):
+        text = "\n".join(trace_text(example1().reduce()))
+        assert "FEASIBLE" in text
+        assert "Rule #1" in text
+
+    def test_trace_text_infeasible_lists_impasse(self):
+        text = "\n".join(trace_text(example2().reduce()))
+        assert "NOT SHOWN FEASIBLE" in text
+        assert "impasse" in text
+
+
+class TestPetriDot:
+    def test_renders_places_and_transitions(self):
+        from repro.petri import translate
+        from repro.viz import petri_to_dot
+        from repro.workloads import simple_purchase
+
+        net, _ = translate(simple_purchase())
+        dot = petri_to_dot(net)
+        assert dot.startswith('digraph "petri"')
+        assert "shape=ellipse" in dot and "shape=box" in dot
+        assert "holds:Customer" in dot
+        assert "complete:Trusted" in dot
+
+    def test_initial_marking_annotated(self):
+        from repro.petri import translate
+        from repro.viz import petri_to_dot
+        from repro.workloads import simple_purchase
+
+        net, _ = translate(simple_purchase())
+        dot = petri_to_dot(net)
+        assert "fillcolor=lightyellow" in dot
+
+    def test_witness_highlighted(self):
+        from repro.petri import exchange_completable, translate
+        from repro.viz import petri_to_dot
+        from repro.workloads import simple_purchase
+
+        problem = simple_purchase()
+        net, _ = translate(problem)
+        witness = exchange_completable(problem).witness
+        dot = petri_to_dot(net, highlight=witness)
+        assert "color=red" in dot

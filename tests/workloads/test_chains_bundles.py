@@ -1,0 +1,87 @@
+"""Unit tests for the chain and bundle workload generators."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.workloads import broker_bundle, consumer_bundle_prices, resale_chain
+
+
+class TestResaleChain:
+    def test_zero_brokers_is_simple_purchase_shape(self):
+        p = resale_chain(0)
+        assert len(p.interaction.edges) == 2
+        assert len(p.interaction.trusted_components) == 1
+
+    def test_party_counts_scale(self):
+        for n in (1, 3, 7):
+            p = resale_chain(n, retail=100.0)
+            assert len(p.interaction.principals) == n + 2
+            assert len(p.interaction.trusted_components) == n + 1
+            assert len(p.interaction.edges) == 2 * (n + 1)
+
+    def test_priority_count_matches_brokers(self):
+        p = resale_chain(4, retail=100.0)
+        assert len(p.interaction.priority_edges) == 4
+
+    def test_poor_chain_doubles_priorities(self):
+        p = resale_chain(3, retail=100.0, solvent=False)
+        assert len(p.interaction.priority_edges) == 6
+
+    def test_prices_decrease_upstream(self):
+        p = resale_chain(2, retail=10.0, margin=1.0)
+        ig = p.interaction
+        assert ig.find_edge("Consumer", "Trusted1").provides.cents == 1000
+        assert ig.find_edge("Broker1", "Trusted2").provides.cents == 900
+        assert ig.find_edge("Broker2", "Trusted3").provides.cents == 800
+
+    def test_negative_brokers_rejected(self):
+        with pytest.raises(ModelError):
+            resale_chain(-1)
+
+    def test_margin_exhaustion_rejected(self):
+        with pytest.raises(ModelError):
+            resale_chain(10, retail=5.0, margin=1.0)
+
+    def test_names(self):
+        assert resale_chain(2).name == "resale-chain-2"
+        assert resale_chain(2, retail=100.0, solvent=False).name == "resale-chain-2-poor"
+
+
+class TestBrokerBundle:
+    def test_shape_scales_with_k(self):
+        for k in (1, 2, 4):
+            prices = tuple(float(i + 1) for i in range(k))
+            p = broker_bundle(k, prices)
+            assert len(p.interaction.principals) == 2 * k + 1
+            assert len(p.interaction.trusted_components) == 2 * k
+            assert len(p.interaction.edges) == 4 * k
+            assert len(p.interaction.priority_edges) == k
+
+    def test_single_doc_bundle_is_feasible(self):
+        # k=1 has no all-or-nothing tension: it is Example #1 in disguise.
+        assert broker_bundle(1, (10.0,)).feasibility().feasible
+
+    def test_multi_doc_bundles_infeasible(self):
+        for k in (2, 3, 4):
+            prices = tuple(float(10 * (i + 1)) for i in range(k))
+            assert not broker_bundle(k, prices).feasibility().feasible, k
+
+    def test_price_validation(self):
+        with pytest.raises(ModelError):
+            broker_bundle(2, (10.0,))
+        with pytest.raises(ModelError):
+            broker_bundle(2, (10.0, 20.0), wholesale_prices=(1.0,))
+        with pytest.raises(ModelError):
+            broker_bundle(0, ())
+
+    def test_default_wholesale_is_80_percent(self):
+        p = broker_bundle(1, (10.0,))
+        assert p.interaction.find_edge("Broker1", "Trusted2").provides.cents == 800
+
+    def test_consumer_bundle_prices_helper(self, fig7):
+        prices = consumer_bundle_prices(fig7)
+        assert prices == {"Trusted1": 1000, "Trusted3": 2000, "Trusted5": 3000}
+
+    def test_custom_name(self):
+        assert broker_bundle(2, (1.0, 2.0), name="xyz").name == "xyz"
+        assert broker_bundle(2, (1.0, 2.0)).name == "broker-bundle-2"

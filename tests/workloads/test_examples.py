@@ -1,0 +1,133 @@
+"""Unit tests for the canonical example fixtures (Figures 1, 2, 7)."""
+
+import pytest
+
+from repro.workloads import (
+    example1,
+    example2,
+    example2_broker_trusts_source,
+    example2_source_trusts_broker,
+    figure7,
+    poor_broker,
+    simple_purchase,
+)
+
+
+class TestExample1Shape:
+    def test_parties_match_figure1(self, ex1):
+        names = {p.name for p in ex1.interaction.principals}
+        assert names == {"Consumer", "Broker", "Producer"}
+        assert {t.name for t in ex1.interaction.trusted_components} == {
+            "Trusted1",
+            "Trusted2",
+        }
+
+    def test_four_edges(self, ex1):
+        assert len(ex1.interaction.edges) == 4
+
+    def test_bipartite_chain_degrees(self, ex1):
+        ig = ex1.interaction
+        degrees = {p.name: ig.degree(p) for p in ig.parties}
+        assert degrees == {
+            "Consumer": 1,
+            "Broker": 2,
+            "Producer": 1,
+            "Trusted1": 2,
+            "Trusted2": 2,
+        }
+
+    def test_priority_on_sale_side(self, ex1):
+        (priority,) = ex1.interaction.priority_edges
+        assert priority.principal.name == "Broker"
+        assert priority.trusted.name == "Trusted1"
+
+    def test_broker_money_flows(self, ex1):
+        ig = ex1.interaction
+        retail = ig.find_edge("Consumer", "Trusted1").provides
+        wholesale = ig.find_edge("Broker", "Trusted2").provides
+        assert retail.cents == 1200
+        assert wholesale.cents == 1000
+
+    def test_custom_prices(self):
+        p = example1(retail=99.0, wholesale=1.0)
+        assert p.interaction.find_edge("Consumer", "Trusted1").provides.cents == 9900
+
+
+class TestExample2Shape:
+    def test_parties_match_figure2(self, ex2):
+        names = {p.name for p in ex2.interaction.principals}
+        assert names == {"Consumer", "Broker1", "Broker2", "Source1", "Source2"}
+        assert len(ex2.interaction.trusted_components) == 4
+
+    def test_eight_edges_two_priorities(self, ex2):
+        assert len(ex2.interaction.edges) == 8
+        assert len(ex2.interaction.priority_edges) == 2
+
+    def test_consumer_degree_two(self, ex2):
+        ig = ex2.interaction
+        c = next(p for p in ig.principals if p.name == "Consumer")
+        assert ig.degree(c) == 2
+
+    def test_documents_distinct(self, ex2):
+        ig = ex2.interaction
+        d1 = ig.find_edge("Broker1", "Trusted1").provides
+        d2 = ig.find_edge("Broker2", "Trusted3").provides
+        assert d1 != d2
+
+
+class TestVariants:
+    def test_variant_names(self):
+        assert "source1-trusts-broker1" in example2_source_trusts_broker().name
+        assert "broker1-trusts-source1" in example2_broker_trusts_source().name
+
+    def test_variant1_trust_direction(self, ex2_variant1):
+        trust_pairs = {(a.name, b.name) for a, b in ex2_variant1.trust}
+        assert trust_pairs == {("Source1", "Broker1")}
+
+    def test_variant2_trust_direction(self, ex2_variant2):
+        trust_pairs = {(a.name, b.name) for a, b in ex2_variant2.trust}
+        assert trust_pairs == {("Broker1", "Source1")}
+
+    def test_poor_broker_double_priority(self, poor):
+        agents = [e.trusted.name for e in poor.interaction.priority_edges]
+        assert sorted(agents) == ["Trusted1", "Trusted2"]
+
+
+class TestFigure7Shape:
+    def test_parties(self, fig7):
+        ig = fig7.interaction
+        assert len(ig.principals) == 7  # consumer + 3 brokers + 3 sources
+        assert len(ig.trusted_components) == 6
+        assert len(ig.edges) == 12
+
+    def test_paper_prices(self, fig7):
+        ig = fig7.interaction
+        assert ig.find_edge("Consumer", "Trusted1").provides.cents == 1000
+        assert ig.find_edge("Consumer", "Trusted3").provides.cents == 2000
+        assert ig.find_edge("Consumer", "Trusted5").provides.cents == 3000
+
+    def test_custom_prices(self):
+        p = figure7(prices=(1.0, 2.0, 3.0))
+        assert p.interaction.find_edge("Consumer", "Trusted5").provides.cents == 300
+
+
+class TestSimplePurchase:
+    def test_minimal_shape(self, tiny):
+        assert len(tiny.interaction.edges) == 2
+        assert len(tiny.interaction.trusted_components) == 1
+
+    def test_price_parameter(self):
+        p = simple_purchase(price=3.5)
+        assert p.interaction.find_edge("Customer", "Trusted").provides.cents == 350
+
+    def test_all_fixtures_validate(self):
+        for factory in (
+            example1,
+            example2,
+            poor_broker,
+            figure7,
+            simple_purchase,
+            example2_source_trusts_broker,
+            example2_broker_trusts_source,
+        ):
+            factory().validate()

@@ -1,0 +1,91 @@
+"""Unit tests for the random workload generator."""
+
+import random
+
+import pytest
+
+from repro.errors import ModelError
+from repro.workloads import RandomProblemConfig, random_problem, random_problem_batch
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        RandomProblemConfig()
+
+    def test_bad_configs_rejected(self):
+        with pytest.raises(ModelError):
+            RandomProblemConfig(n_principals=1)
+        with pytest.raises(ModelError):
+            RandomProblemConfig(n_exchanges=0)
+        with pytest.raises(ModelError):
+            RandomProblemConfig(priority_probability=1.5)
+
+
+class TestGeneration:
+    def test_problems_validate(self):
+        for seed in range(20):
+            random_problem(seed=seed).validate()
+
+    def test_reproducible_by_seed(self):
+        a = random_problem(seed=42)
+        b = random_problem(seed=42)
+        assert [e.label for e in a.interaction.edges] == [
+            e.label for e in b.interaction.edges
+        ]
+        assert a.interaction.priority_edges == b.interaction.priority_edges
+
+    def test_different_seeds_differ(self):
+        labels = {
+            tuple(e.label for e in random_problem(seed=s).interaction.edges)
+            for s in range(10)
+        }
+        # Structure (who exchanges with whom) should vary across seeds.
+        priorities = {
+            frozenset(e.label for e in random_problem(seed=s).interaction.priority_edges)
+            for s in range(10)
+        }
+        assert len(labels) > 1 or len(priorities) > 1
+
+    def test_exchange_count_respected(self):
+        config = RandomProblemConfig(n_principals=5, n_exchanges=9, allow_cycles=True)
+        p = random_problem(config, seed=1)
+        assert len(p.interaction.edges) == 18
+        assert len(p.interaction.trusted_components) == 9
+
+    def test_zero_priority_probability_gives_no_reds(self):
+        config = RandomProblemConfig(priority_probability=0.0)
+        for seed in range(5):
+            p = random_problem(config, seed=seed)
+            assert p.interaction.priority_edges == frozenset()
+
+    def test_feasibility_always_defined(self):
+        # Any random problem must reduce without crashing, whatever verdict.
+        for seed in range(30):
+            random_problem(seed=seed).feasibility()
+
+    def test_rng_parameter(self):
+        p = random_problem(rng=random.Random(7))
+        q = random_problem(rng=random.Random(7))
+        assert [e.label for e in p.interaction.edges] == [
+            e.label for e in q.interaction.edges
+        ]
+
+
+class TestBatch:
+    def test_batch_size(self):
+        assert len(random_problem_batch(5)) == 5
+
+    def test_batch_reproducible(self):
+        a = random_problem_batch(3, seed=9)
+        b = random_problem_batch(3, seed=9)
+        for pa, pb in zip(a, b):
+            assert [e.label for e in pa.interaction.edges] == [
+                e.label for e in pb.interaction.edges
+            ]
+
+    def test_batch_members_differ(self):
+        batch = random_problem_batch(6, seed=1)
+        signatures = {
+            tuple(e.label for e in p.interaction.edges) for p in batch
+        }
+        assert len(signatures) > 1

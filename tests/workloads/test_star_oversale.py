@@ -1,0 +1,85 @@
+"""Tests for the star and over-sale workloads, and multi-party Petri nets."""
+
+import pytest
+
+from repro.errors import InfeasibleExchangeError, ModelError
+from repro.petri import exchange_completable
+from repro.sim import evaluate_safety, simulate, withholder
+from repro.workloads import oversale, star
+
+
+class TestStar:
+    @pytest.mark.parametrize("n", [1, 3, 6])
+    def test_feasible_at_any_width(self, n):
+        assert star(n).feasibility().feasible
+
+    def test_simulates_to_completion(self):
+        problem = star(4)
+        result = simulate(problem)
+        assert len(result.completed_agents) == 4
+        assert evaluate_safety(problem, result).honest_parties_safe()
+
+    def test_producer_bundle_protected_from_one_defector(self):
+        # The producer wants all four sales (its conjunction is a bundle);
+        # one buyer vanishing must not leave the producer partially sold.
+        problem = star(3)
+        result = simulate(problem, adversaries={"Consumer2": withholder(0)}, deadline=50.0)
+        report = evaluate_safety(problem, result)
+        assert report.honest_parties_safe(frozenset({"Consumer2"}))
+
+    def test_petri_agrees(self):
+        assert exchange_completable(star(3)).coverable
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ModelError):
+            star(0)
+
+
+class TestOversale:
+    """The documented possession-blindness of the sequencing test."""
+
+    def test_sequencing_test_is_possession_blind(self):
+        # The reduction happily certifies selling one document twice...
+        assert oversale(2).feasibility().feasible
+
+    def test_execution_scheduler_catches_it(self):
+        # ...but no physically executable sequence exists, and the scheduler
+        # says so instead of emitting one.
+        with pytest.raises(InfeasibleExchangeError, match="stalled"):
+            oversale(2).execution_sequence()
+
+    def test_petri_token_game_catches_it(self):
+        # The token encoding is resource-linear: one 'd' token, two buyers.
+        assert not exchange_completable(oversale(2)).coverable
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_any_width(self, n):
+        problem = oversale(n)
+        assert problem.feasibility().feasible
+        assert not exchange_completable(problem).coverable
+
+    def test_minimum_width_enforced(self):
+        with pytest.raises(ModelError):
+            oversale(1)
+
+
+class TestMultipartyPetri:
+    def test_ring_coverable(self):
+        from repro.core.interaction import InteractionGraph
+        from repro.core.items import document
+        from repro.core.parties import broker, trusted
+        from repro.core.problem import ExchangeProblem
+
+        graph = InteractionGraph()
+        members = []
+        for i in range(3):
+            p = broker(f"P{i + 1}")
+            graph.add_principal(p)
+            members.append((p, document(f"d{i + 1}")))
+        t = graph.add_trusted(trusted("T"))
+        graph.add_multi_exchange(t, members)
+        problem = ExchangeProblem("ring", graph).validate(allow_multiparty=True)
+        result = exchange_completable(problem)
+        assert result.coverable
+        # The single completion hands every member its entitlement.
+        assert "complete:T" in result.witness
