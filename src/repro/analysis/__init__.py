@@ -1,6 +1,13 @@
 """Analyses over the formal machinery: the §8 cost model, feasibility
 sweeps over random topologies, and §6 indemnity-capital studies."""
 
+from repro.analysis.batch import (
+    BatchVerdict,
+    ProblemSpec,
+    batch_specs,
+    check_feasibility_batch,
+    parallel_map,
+)
 from repro.analysis.cost import (
     ChainCostRow,
     MeasuredCost,
@@ -35,6 +42,11 @@ from repro.analysis.indemnity_study import (
 )
 
 __all__ = [
+    "BatchVerdict",
+    "ProblemSpec",
+    "batch_specs",
+    "check_feasibility_batch",
+    "parallel_map",
     "ChainCostRow",
     "MeasuredCost",
     "MessageCost",

@@ -12,6 +12,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.analysis.batch import parallel_map
 from repro.core.indemnity import (
     commitment_cost,
     greedy_order,
@@ -33,25 +34,36 @@ class OrderingCost:
     offers: int
 
 
-def ordering_costs(prices: Sequence[float]) -> list[OrderingCost]:
+def _ordering_cost_worker(spec: tuple[tuple[float, ...], tuple[int, ...]]) -> OrderingCost:
+    """Worker: rebuild the bundle and price one permutation of its members."""
+    prices, permutation_indices = spec
+    problem = broker_bundle(len(prices), prices)
+    members = [e for e in problem.interaction.edges if e.principal == CONSUMER]
+    permutation = [members[i] for i in permutation_indices]
+    plan = plan_indemnities(problem, permutation)
+    return OrderingCost(
+        order=tuple(e.trusted.name for e in permutation),
+        total_cents=plan.total_cents,
+        offers=len(plan.offers),
+    )
+
+
+def ordering_costs(
+    prices: Sequence[float], processes: int | None = 1
+) -> list[OrderingCost]:
     """Escrow totals for every indemnification order of a bundle.
 
     For Figure 7's prices this contains both of the paper's orderings —
-    $90 (B1 first) and $70 (B3 first) — among the six permutations.
+    $90 (B1 first) and $70 (B3 first) — among the six permutations.  With
+    ``processes=N`` the k! permutations fan out over the batch driver's
+    process pool (each worker rebuilds the bundle from its prices).
     """
-    problem = broker_bundle(len(prices), tuple(prices))
-    members = [e for e in problem.interaction.edges if e.principal == CONSUMER]
-    rows: list[OrderingCost] = []
-    for permutation in itertools.permutations(members):
-        plan = plan_indemnities(problem, list(permutation))
-        rows.append(
-            OrderingCost(
-                order=tuple(e.trusted.name for e in permutation),
-                total_cents=plan.total_cents,
-                offers=len(plan.offers),
-            )
-        )
-    return rows
+    prices = tuple(prices)
+    specs = [
+        (prices, permutation)
+        for permutation in itertools.permutations(range(len(prices)))
+    ]
+    return parallel_map(_ordering_cost_worker, specs, processes=processes)
 
 
 @dataclass(frozen=True)
@@ -69,30 +81,34 @@ class BundleScalingRow:
         return self.worst_cents / self.greedy_cents if self.greedy_cents else 1.0
 
 
-def bundle_scaling(max_k: int = 5, base_price: float = 10.0) -> list[BundleScalingRow]:
+def _bundle_scaling_worker(spec: tuple[int, float]) -> BundleScalingRow:
+    """Worker: greedy vs worst escrow for one bundle size."""
+    k, base_price = spec
+    prices = tuple(base_price * (i + 1) for i in range(k))
+    problem = broker_bundle(k, prices)
+    greedy = minimal_indemnity_plan(problem)
+    members = greedy_order(problem, CONSUMER)
+    ascending = list(reversed(members))  # cheapest first = worst
+    worst = plan_indemnities(problem, ascending)
+    return BundleScalingRow(
+        k=k,
+        total_price_cents=sum(commitment_cost(e) for e in members),
+        greedy_cents=greedy.total_cents,
+        worst_cents=worst.total_cents,
+    )
+
+
+def bundle_scaling(
+    max_k: int = 5, base_price: float = 10.0, processes: int | None = 1
+) -> list[BundleScalingRow]:
     """Greedy vs worst-order escrow as bundle size grows.
 
     Prices are ``base_price · (1..k)``.  Greedy = (k−2)·S + c_min; worst =
     ascending-cost order = (k−2)·S + c_max (the most expensive piece left
     uncovered last is never optimal).
     """
-    rows: list[BundleScalingRow] = []
-    for k in range(2, max_k + 1):
-        prices = tuple(base_price * (i + 1) for i in range(k))
-        problem = broker_bundle(k, prices)
-        greedy = minimal_indemnity_plan(problem)
-        members = greedy_order(problem, CONSUMER)
-        ascending = list(reversed(members))  # cheapest first = worst
-        worst = plan_indemnities(problem, ascending)
-        rows.append(
-            BundleScalingRow(
-                k=k,
-                total_price_cents=sum(commitment_cost(e) for e in members),
-                greedy_cents=greedy.total_cents,
-                worst_cents=worst.total_cents,
-            )
-        )
-    return rows
+    specs = [(k, base_price) for k in range(2, max_k + 1)]
+    return parallel_map(_bundle_scaling_worker, specs, processes=processes)
 
 
 def figure7_table() -> list[str]:

@@ -84,7 +84,7 @@ def _add_problem_args(parser: argparse.ArgumentParser) -> None:
 
 def _cmd_check(args: argparse.Namespace) -> int:
     problem = _load_problem(args)
-    verdict = problem.feasibility()
+    verdict = problem.feasibility(enable_persona_clause=not args.no_persona)
     print("\n".join(trace_text(verdict.trace)))
     print(verdict.explain())
     return 0 if verdict.feasible else 1
@@ -229,20 +229,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         trust_sweep,
     )
 
+    jobs = args.jobs if args.jobs > 0 else None  # 0 = all cores
+    args.jobs = jobs
     if args.study == "priority":
-        for row in priority_sweep(samples=args.samples):
+        for row in priority_sweep(samples=args.samples, processes=args.jobs):
             print(
                 f"priority={row.priority_probability:4.2f}  feasible "
                 f"{row.feasible}/{row.samples} ({row.feasible_fraction:.0%})"
             )
     elif args.study == "trust":
-        for row in trust_sweep(samples=args.samples):
+        for row in trust_sweep(samples=args.samples, processes=args.jobs):
             print(
                 f"+{row.trust_edges_added} trust edges  unlocked "
                 f"{row.unlocked}/{row.samples} ({row.unlocked_fraction:.0%})"
             )
     else:
-        row = incompleteness_gap(samples=args.samples)
+        row = incompleteness_gap(samples=args.samples, processes=args.jobs)
         print(
             f"samples={row.samples}  reduction-feasible={row.reduction_feasible}  "
             f"petri-coverable={row.petri_coverable}  gap={row.gap} "
@@ -275,6 +277,12 @@ def build_parser() -> argparse.ArgumentParser:
     ]:
         p = sub.add_parser(name, help=help_text)
         _add_problem_args(p)
+        if name == "check":
+            p.add_argument(
+                "--no-persona",
+                action="store_true",
+                help="ablate Rule #1 clause 2 (the §4.2.3 direct-trust waiver)",
+            )
         p.set_defaults(handler=handler)
 
     p = sub.add_parser("simulate", help="run the protocol in the simulator")
@@ -316,6 +324,13 @@ def build_parser() -> argparse.ArgumentParser:
         "study", choices=["priority", "trust", "gap"], help="which sweep to run"
     )
     p.add_argument("--samples", type=int, default=40)
+    p.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="fan the study over N worker processes (0 = all cores)",
+    )
     p.set_defaults(handler=_cmd_sweep)
 
     p = sub.add_parser("examples", help="list built-in examples")

@@ -81,17 +81,24 @@ def check_feasibility(
     graph: InteractionGraph | SequencingGraph,
     trust: TrustRelation | None = None,
     strategy: str = "fifo",
+    enable_persona_clause: bool = True,
 ) -> FeasibilityVerdict:
     """Reduce and classify an exchange.
 
     Accepts either an :class:`InteractionGraph` (the sequencing graph is
     derived mechanically, §4.1) or a ready :class:`SequencingGraph` (in which
     case *trust* must already be baked into its personas).
+
+    ``enable_persona_clause=False`` ablates Rule #1 clause 2 (§4.2.3), so
+    trust-sensitivity studies can measure the clause's effect through the
+    same entry point the rest of the pipeline uses.
     """
     if isinstance(graph, InteractionGraph):
         sequencing = SequencingGraph.from_interaction(graph, trust)
     else:
         sequencing = graph
-    trace = reduce_graph(sequencing, strategy=strategy)
+    trace = reduce_graph(
+        sequencing, strategy=strategy, enable_persona_clause=enable_persona_clause
+    )
     verdict = Verdict.FEASIBLE if trace.feasible else Verdict.NOT_SHOWN_FEASIBLE
     return FeasibilityVerdict(verdict=verdict, trace=trace)

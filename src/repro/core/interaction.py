@@ -45,6 +45,26 @@ class InteractionEdge:
         require_principal(self.principal, "interaction edge")
         require_trusted(self.trusted, "interaction edge")
 
+    def __hash__(self) -> int:
+        # Cached: interaction edges sit inside every CommitmentNode/SGEdge
+        # hash, so this is the deepest level of the reduction hot loop.  The
+        # cache never survives pickling (per-process str-hash salting).
+        try:
+            return self._hash  # type: ignore[attr-defined]
+        except AttributeError:
+            value = hash((self.principal, self.trusted, self.provides, self.tag))
+            object.__setattr__(self, "_hash", value)
+            return value
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
+
     @property
     def label(self) -> str:
         """Human-readable label, e.g. ``'consumer--t1'``."""
@@ -233,7 +253,11 @@ class InteractionGraph:
 
     def internal_nodes(self) -> tuple[Party, ...]:
         """Parties with more than one edge — they get conjunction nodes (§4.1)."""
-        return tuple(p for p in self.parties if self.degree(p) > 1)
+        degrees: dict[Party, int] = {}
+        for e in self._edges:
+            degrees[e.principal] = degrees.get(e.principal, 0) + 1
+            degrees[e.trusted] = degrees.get(e.trusted, 0) + 1
+        return tuple(p for p in self.parties if degrees.get(p, 0) > 1)
 
     def counterparts(self, edge: InteractionEdge) -> tuple[InteractionEdge, ...]:
         """The other edge(s) at *edge*'s trusted component."""
@@ -285,8 +309,12 @@ class InteractionGraph:
         * every principal has at least one edge;
         * the two sides of a pairwise exchange must provide distinct items.
         """
+        incident: dict[Party, list[InteractionEdge]] = {p: [] for p in self.parties}
+        for e in self._edges:
+            incident[e.principal].append(e)
+            incident[e.trusted].append(e)
         for t in self.trusted_components:
-            degree = self.degree(t)
+            degree = len(incident[t])
             if degree < 2:
                 raise GraphError(
                     f"trusted component {t.name!r} has degree {degree}; it must "
@@ -298,14 +326,14 @@ class InteractionGraph:
                     "allow_multiparty=True to permit this §9 extension"
                 )
             if degree == 2:
-                left, right = self.edges_at(t)
+                left, right = incident[t]
                 if left.provides == right.provides:
                     raise GraphError(
                         f"both sides of the exchange at {t.name!r} provide "
                         f"{left.provides!s}; an exchange must swap distinct items"
                     )
         for p in self.principals:
-            if self.degree(p) == 0:
+            if not incident[p]:
                 raise GraphError(f"principal {p.name!r} participates in no exchange")
 
     # ------------------------------------------------------------------ misc

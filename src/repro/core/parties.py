@@ -67,6 +67,26 @@ class Party:
                 "letter and contain only letters, digits, '_' or '-'"
             )
 
+    def __hash__(self) -> int:
+        # Parties key every graph index and hot-loop set; cache the hash on
+        # first use.  The cache must not cross process boundaries (str hashes
+        # are per-process salted), so __getstate__ strips it before pickling.
+        try:
+            return self._hash  # type: ignore[attr-defined]
+        except AttributeError:
+            value = hash((self.name, self.role))
+            object.__setattr__(self, "_hash", value)
+            return value
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
+
     @property
     def is_principal(self) -> bool:
         """Whether this party is a principal (non-trusted) participant."""

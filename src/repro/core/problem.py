@@ -41,13 +41,26 @@ class ExchangeProblem:
         """Mechanically derive the sequencing graph (§4.1)."""
         return SequencingGraph.from_interaction(self.interaction, self.trust)
 
-    def reduce(self, strategy: str = "fifo") -> ReductionTrace:
+    def reduce(
+        self, strategy: str = "fifo", enable_persona_clause: bool = True
+    ) -> ReductionTrace:
         """Reduce the sequencing graph greedily (§4.2)."""
-        return reduce_graph(self.sequencing_graph(), strategy=strategy)
+        return reduce_graph(
+            self.sequencing_graph(),
+            strategy=strategy,
+            enable_persona_clause=enable_persona_clause,
+        )
 
-    def feasibility(self, strategy: str = "fifo") -> FeasibilityVerdict:
-        """The §4.2.4 feasibility verdict."""
-        return check_feasibility(self.interaction, self.trust, strategy=strategy)
+    def feasibility(
+        self, strategy: str = "fifo", enable_persona_clause: bool = True
+    ) -> FeasibilityVerdict:
+        """The §4.2.4 feasibility verdict (optionally with §4.2.3 ablated)."""
+        return check_feasibility(
+            self.interaction,
+            self.trust,
+            strategy=strategy,
+            enable_persona_clause=enable_persona_clause,
+        )
 
     def execution_sequence(self, strategy: str = "fifo") -> ExecutionSequence:
         """The §5 execution sequence (raises if not shown feasible)."""

@@ -23,13 +23,40 @@ A reduced graph is **feasible** iff no edges remain (§4.2.4).  When edges do
 remain the trace carries a :class:`Blockage` diagnosis: which fringe
 commitments are pre-empted by which red edges — the raw material for the
 indemnity planner (§6).
+
+Performance
+-----------
+
+The engine is the hot path of every feasibility verdict, confluence property
+test, indemnity plan, and Monte-Carlo study, so it maintains **incremental
+adjacency indices** over the remaining-edge set instead of rescanning it:
+
+* per-commitment and per-conjunction remaining-edge counts (fringe tests are
+  O(1));
+* a per-conjunction red-edge counter plus per-``(conjunction, commitment)``
+  red counts, making ``blocking_red_edges`` cardinality and Rule #1 clause-1
+  checks O(1);
+* a **dirty-candidate worklist**: after each :meth:`apply` only the edges
+  incident to the removed edge's commitment and conjunction are re-checked
+  for rule eligibility — no other edge's eligibility can have changed —
+  and the currently-applicable set is kept in lazily-invalidated min/max
+  heaps for the deterministic strategies.
+
+A full :meth:`run` is therefore O(E · (max-degree + log E)) instead of the
+naive O(E³), while reproducing the naive engine's behavior *step for step*
+(``fifo``/``lifo``/``random`` orderings, the persona clause, scripted
+:func:`replay`, and :class:`Blockage` diagnosis).  The original
+rescan-everything engine is retained verbatim in
+:mod:`repro.core.reduction_reference` as the equivalence oracle for the
+property suite, and ``benchmarks/test_bench_scaling.py`` measures the gap.
 """
 
 from __future__ import annotations
 
 import enum
+import heapq
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable
 
 from repro.core.sequencing import (
@@ -48,7 +75,7 @@ class Rule(enum.IntEnum):
     CONJUNCTION_FRINGE = 2
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReductionStep:
     """One edge removal: which rule, which edge, and what it disconnected.
 
@@ -70,12 +97,13 @@ class ReductionStep:
         return f"step {self.index}: Rule#{int(self.rule)}{persona} removes {self.edge}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Blockage:
     """A fringe commitment edge that cannot be removed, and why (§4.2.4).
 
     ``blocking_red`` lists the red edges at the conjunction that pre-empt the
-    blocked edge (Rule #1 clause 1 failure, with no persona to rescue it).
+    blocked edge (Rule #1 clause 1 failure, with no persona to rescue it),
+    in original graph-edge order.
     """
 
     edge: SGEdge
@@ -112,11 +140,21 @@ class ReductionTrace:
         return not self.remaining
 
     def step_for_edge(self, edge: SGEdge) -> ReductionStep:
-        """The step that removed *edge* (raises if it was never removed)."""
-        for step in self.steps:
-            if step.edge == edge:
-                return step
-        raise ReductionError(f"edge {edge} was not removed in this trace")
+        """The step that removed *edge* (raises if it was never removed).
+
+        Backed by a lazily built edge→step mapping, so repeated lookups
+        (execution recovery walks every edge) are O(1) instead of a linear
+        scan per call.
+        """
+        try:
+            mapping = object.__getattribute__(self, "_step_by_edge")
+        except AttributeError:
+            mapping = {step.edge: step for step in self.steps}
+            object.__setattr__(self, "_step_by_edge", mapping)
+        step = mapping.get(edge)
+        if step is None:
+            raise ReductionError(f"edge {edge} was not removed in this trace")
+        return step
 
     def __str__(self) -> str:
         header = "feasible" if self.feasible else f"INFEASIBLE ({len(self.remaining)} edges remain)"
@@ -133,6 +171,11 @@ class ReductionEngine:
     Use :meth:`applicable` to enumerate legal steps, :meth:`apply` /
     :meth:`apply_edge` to perform one, and :meth:`run` for an automatic
     greedy reduction.  :func:`reduce_graph` is the one-call convenience.
+
+    Internally the engine indexes edges by their position in
+    ``graph.edges`` (the deterministic order all strategies are defined
+    over) and keeps every fringe/pre-emption test O(1); see the module
+    docstring for the data structures.
     """
 
     def __init__(self, graph: SequencingGraph, enable_persona_clause: bool = True) -> None:
@@ -141,37 +184,92 @@ class ReductionEngine:
         the clause is exactly what makes the trust variants differ."""
         self.graph = graph
         self.enable_persona_clause = enable_persona_clause
-        self.remaining: set[SGEdge] = set(graph.edges)
+        edges = graph.edges
+        self.remaining: set[SGEdge] = set(edges)
         self.steps: list[ReductionStep] = []
         self._commitment_order: list[CommitmentNode] = []
         self._conjunction_order: list[ConjunctionNode] = []
+
+        # ---- static indices (edge identity -> position, node -> incident edges)
+        self._edges = edges
+        self._index_of: dict[SGEdge, int] = {e: i for i, e in enumerate(edges)}
+        self._alive: list[bool] = [True] * len(edges)
+        self._commitment_edges: dict[CommitmentNode, list[int]] = {
+            c: [] for c in graph.commitments
+        }
+        self._conjunction_edges: dict[ConjunctionNode, list[int]] = {
+            j: [] for j in graph.conjunctions
+        }
+        for i, e in enumerate(edges):
+            self._commitment_edges[e.commitment].append(i)
+            self._conjunction_edges[e.conjunction].append(i)
+
+        # ---- incremental counters over the remaining-edge set
+        self._commitment_count: dict[CommitmentNode, int] = {
+            c: len(ids) for c, ids in self._commitment_edges.items()
+        }
+        self._conjunction_count: dict[ConjunctionNode, int] = {
+            j: len(ids) for j, ids in self._conjunction_edges.items()
+        }
+        self._red_count: dict[ConjunctionNode, int] = {j: 0 for j in graph.conjunctions}
+        self._pair_red: dict[tuple[ConjunctionNode, CommitmentNode], int] = {}
+        for e in edges:
+            if e.is_red:
+                self._red_count[e.conjunction] += 1
+                key = (e.conjunction, e.commitment)
+                self._pair_red[key] = self._pair_red.get(key, 0) + 1
+
+        # ---- dirty-candidate worklist state: edge index -> (rule1, persona, rule2)
+        self._cand: dict[int, tuple[bool, bool, bool]] = {}
+        self._heap_min: list[int] = []  # lazily-invalidated candidate heaps
+        self._heap_max: list[int] = []
+        for i in range(len(edges)):
+            self._recheck(i)
+
         # Commitments/conjunctions that start with no edges are disconnected
         # from the outset (possible only in hand-built graphs).
         for commitment in graph.commitments:
-            if not self._edges_of_commitment(commitment):
+            if self._commitment_count[commitment] == 0:
                 self._commitment_order.append(commitment)
         for conjunction in graph.conjunctions:
-            if not self._edges_of_conjunction(conjunction):
+            if self._conjunction_count[conjunction] == 0:
                 self._conjunction_order.append(conjunction)
 
     # ----------------------------------------------------------- fringe tests
 
     def _edges_of_commitment(self, commitment: CommitmentNode) -> list[SGEdge]:
-        return [e for e in self.remaining if e.commitment == commitment]
+        """Remaining edges at *commitment*, in graph-edge order."""
+        return [
+            self._edges[i]
+            for i in self._commitment_edges.get(commitment, ())
+            if self._alive[i]
+        ]
 
     def _edges_of_conjunction(self, conjunction: ConjunctionNode) -> list[SGEdge]:
-        return [e for e in self.remaining if e.conjunction == conjunction]
+        """Remaining edges at *conjunction*, in graph-edge order."""
+        return [
+            self._edges[i]
+            for i in self._conjunction_edges.get(conjunction, ())
+            if self._alive[i]
+        ]
 
     def is_commitment_fringe(self, commitment: CommitmentNode) -> bool:
         """Whether *commitment* has exactly one remaining edge."""
-        return len(self._edges_of_commitment(commitment)) == 1
+        return self._commitment_count.get(commitment, 0) == 1
 
     def is_conjunction_fringe(self, conjunction: ConjunctionNode) -> bool:
         """Whether *conjunction* has exactly one remaining edge."""
-        return len(self._edges_of_conjunction(conjunction)) == 1
+        return self._conjunction_count.get(conjunction, 0) == 1
+
+    def _blocking_red_count(self, edge: SGEdge) -> int:
+        """O(1) cardinality of :meth:`blocking_red_edges`."""
+        own = self._pair_red.get((edge.conjunction, edge.commitment), 0)
+        return self._red_count.get(edge.conjunction, 0) - own
 
     def blocking_red_edges(self, edge: SGEdge) -> tuple[SGEdge, ...]:
         """Remaining red edges at ``edge.conjunction`` from *other* commitments."""
+        if self._blocking_red_count(edge) == 0:
+            return ()
         return tuple(
             other
             for other in self._edges_of_conjunction(edge.conjunction)
@@ -192,9 +290,8 @@ class ReductionEngine:
         if self.enable_persona_clause and edge.commitment in self.graph.personas:
             # Clause 2 applies; report persona only when clause 1 would fail,
             # so traces show where direct trust actually mattered.
-            pre_empted = bool(self.blocking_red_edges(edge))
-            return True, pre_empted
-        if self.blocking_red_edges(edge):
+            return True, self._blocking_red_count(edge) > 0
+        if self._blocking_red_count(edge) > 0:
             return False, False
         return True, False
 
@@ -209,15 +306,49 @@ class ReductionEngine:
         before Rule #2 for the same edge.
         """
         result: list[tuple[Rule, SGEdge, bool]] = []
-        for edge in self.graph.edges:
-            if edge not in self.remaining:
-                continue
-            ok, via_persona = self.rule1_applicable(edge)
-            if ok:
+        for index in sorted(self._cand):
+            rule1, via_persona, rule2 = self._cand[index]
+            edge = self._edges[index]
+            if rule1:
                 result.append((Rule.COMMITMENT_FRINGE, edge, via_persona))
-            if self.rule2_applicable(edge):
+            if rule2:
                 result.append((Rule.CONJUNCTION_FRINGE, edge, False))
         return result
+
+    # ------------------------------------------------------------- worklist
+
+    def _recheck(self, index: int) -> None:
+        """Re-derive rule eligibility for one (dirty) edge — O(1)."""
+        if not self._alive[index]:
+            self._cand.pop(index, None)
+            return
+        edge = self._edges[index]
+        rule1 = False
+        via_persona = False
+        if self._commitment_count[edge.commitment] == 1:
+            blocked = self._blocking_red_count(edge) > 0
+            if self.enable_persona_clause and edge.commitment in self.graph.personas:
+                rule1, via_persona = True, blocked
+            else:
+                rule1 = not blocked
+        rule2 = self._conjunction_count[edge.conjunction] == 1
+        if rule1 or rule2:
+            if index not in self._cand:
+                heapq.heappush(self._heap_min, index)
+                heapq.heappush(self._heap_max, -index)
+            self._cand[index] = (rule1, via_persona, rule2)
+        else:
+            self._cand.pop(index, None)
+
+    def _peek_candidate(self, lifo: bool) -> int | None:
+        """Lowest (fifo) or highest (lifo) candidate edge index, or None."""
+        heap = self._heap_max if lifo else self._heap_min
+        while heap:
+            index = -heap[0] if lifo else heap[0]
+            if index in self._cand:
+                return index
+            heapq.heappop(heap)
+        return None
 
     # ----------------------------------------------------------------- apply
 
@@ -246,15 +377,36 @@ class ReductionEngine:
         else:  # pragma: no cover - enum exhausted
             raise ReductionError(f"unknown rule {rule!r}")
 
+        index = self._index_of[edge]
+        commitment, conjunction = edge.commitment, edge.conjunction
         self.remaining.discard(edge)
+        self._alive[index] = False
+        self._cand.pop(index, None)
+        self._commitment_count[commitment] -= 1
+        self._conjunction_count[conjunction] -= 1
+        if edge.is_red:
+            self._red_count[conjunction] -= 1
+            self._pair_red[(conjunction, commitment)] -= 1
+
         commitment_done = None
         conjunction_done = None
-        if not self._edges_of_commitment(edge.commitment):
-            commitment_done = edge.commitment
-            self._commitment_order.append(edge.commitment)
-        if not self._edges_of_conjunction(edge.conjunction):
-            conjunction_done = edge.conjunction
-            self._conjunction_order.append(edge.conjunction)
+        if self._commitment_count[commitment] == 0:
+            commitment_done = commitment
+            self._commitment_order.append(commitment)
+        if self._conjunction_count[conjunction] == 0:
+            conjunction_done = conjunction
+            self._conjunction_order.append(conjunction)
+
+        # Only edges incident to the touched commitment/conjunction can have
+        # changed eligibility (fringe counts, red pre-emption) — re-enqueue
+        # exactly those for re-checking.
+        for dirty in self._commitment_edges[commitment]:
+            if self._alive[dirty]:
+                self._recheck(dirty)
+        for dirty in self._conjunction_edges[conjunction]:
+            if self._alive[dirty]:
+                self._recheck(dirty)
+
         step = ReductionStep(
             index=len(self.steps) + 1,
             rule=rule,
@@ -289,28 +441,49 @@ class ReductionEngine:
         ``strategy`` selects among applicable steps: ``"fifo"`` (first in
         deterministic order), ``"lifo"`` (last), or ``"random"`` (requires
         *rng* for reproducibility).  A custom *chooser* overrides strategy.
+
+        ``fifo``/``lifo`` pick straight off the candidate heaps (no list
+        materialization); ``random`` and *chooser* materialize the full
+        :meth:`applicable` list each step because their choice is defined
+        over it.
         """
         if strategy == "random" and rng is None and chooser is None:
             rng = random.Random(0)
-        while True:
-            options = self.applicable()
-            if not options:
-                break
-            if chooser is not None:
-                choice = chooser(options)
-                if choice not in options:
-                    raise ReductionError("chooser returned an inapplicable step")
-            elif strategy == "fifo":
-                choice = options[0]
-            elif strategy == "lifo":
-                choice = options[-1]
-            elif strategy == "random":
-                assert rng is not None
-                choice = rng.choice(options)
-            else:
+        if chooser is not None or strategy == "random":
+            while True:
+                options = self.applicable()
+                if not options:
+                    break
+                if chooser is not None:
+                    choice = chooser(options)
+                    if choice not in options:
+                        raise ReductionError("chooser returned an inapplicable step")
+                else:
+                    assert rng is not None
+                    choice = rng.choice(options)
+                rule, edge, _ = choice
+                self.apply(rule, edge)
+            return self.trace()
+        if strategy not in ("fifo", "lifo"):
+            # Match the reference engine: an unknown strategy only errors
+            # when there is actually a step left to choose.
+            if self._cand:
                 raise ReductionError(f"unknown reduction strategy {strategy!r}")
-            rule, edge, _ = choice
-            self.apply(rule, edge)
+            return self.trace()
+        lifo = strategy == "lifo"
+        while True:
+            index = self._peek_candidate(lifo)
+            if index is None:
+                break
+            rule1, _, rule2 = self._cand[index]
+            # The options list holds Rule #1 before Rule #2 per edge, so the
+            # first entry overall is the lowest index's Rule #1 (when legal)
+            # and the last entry is the highest index's Rule #2 (when legal).
+            if lifo:
+                rule = Rule.CONJUNCTION_FRINGE if rule2 else Rule.COMMITMENT_FRINGE
+            else:
+                rule = Rule.COMMITMENT_FRINGE if rule1 else Rule.CONJUNCTION_FRINGE
+            self.apply(rule, self._edges[index])
         return self.trace()
 
     def trace(self) -> ReductionTrace:
@@ -343,9 +516,15 @@ def reduce_graph(
     graph: SequencingGraph,
     strategy: str = "fifo",
     rng: random.Random | None = None,
+    enable_persona_clause: bool = True,
 ) -> ReductionTrace:
-    """Reduce *graph* greedily and return the trace (one-call convenience)."""
-    return ReductionEngine(graph).run(strategy=strategy, rng=rng)
+    """Reduce *graph* greedily and return the trace (one-call convenience).
+
+    ``enable_persona_clause=False`` ablates Rule #1 clause 2 (§4.2.3), same
+    as constructing :class:`ReductionEngine` with that flag.
+    """
+    engine = ReductionEngine(graph, enable_persona_clause=enable_persona_clause)
+    return engine.run(strategy=strategy, rng=rng)
 
 
 def replay(graph: SequencingGraph, script: Iterable[tuple[Rule, SGEdge]]) -> ReductionTrace:

@@ -40,6 +40,26 @@ class CommitmentNode:
 
     edge: InteractionEdge
 
+    def __hash__(self) -> int:
+        # Commitment nodes key the reduction engine's adjacency indices;
+        # cache the (deep, interaction-edge-recursive) hash.  Stripped on
+        # pickle: str hashes are salted per process.
+        try:
+            return self._hash  # type: ignore[attr-defined]
+        except AttributeError:
+            value = hash((self.edge,))
+            object.__setattr__(self, "_hash", value)
+            return value
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
+
     @property
     def principal(self) -> Party:
         """The principal side of the commitment."""
@@ -64,6 +84,23 @@ class ConjunctionNode:
 
     agent: Party
 
+    def __hash__(self) -> int:
+        try:
+            return self._hash  # type: ignore[attr-defined]
+        except AttributeError:
+            value = hash((self.agent,))
+            object.__setattr__(self, "_hash", value)
+            return value
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
+
     @property
     def label(self) -> str:
         return f"AND({self.agent.name})"
@@ -86,6 +123,26 @@ class SGEdge:
     commitment: CommitmentNode
     conjunction: ConjunctionNode
     color: EdgeColor
+
+    def __hash__(self) -> int:
+        # SGEdge is the single hottest hash in the repo (every remaining-set
+        # membership test); without the cache each hash recurses through the
+        # commitment, interaction edge, parties, and items.
+        try:
+            return self._hash  # type: ignore[attr-defined]
+        except AttributeError:
+            value = hash((self.commitment, self.conjunction, self.color))
+            object.__setattr__(self, "_hash", value)
+            return value
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
 
     @property
     def is_red(self) -> bool:
@@ -138,7 +195,14 @@ class SequencingGraph:
         conjunctions = {
             party: ConjunctionNode(party) for party in interaction.internal_nodes()
         }
+        priority = interaction.priority_edges
         edges: list[SGEdge] = []
+        # Group interaction edges by trusted component once (insertion order
+        # preserved) instead of rescanning all edges per commitment — this
+        # keeps derivation O(E) for the large scaling workloads.
+        at_trusted: dict[Party, list[InteractionEdge]] = {}
+        for edge in interaction.edges:
+            at_trusted.setdefault(edge.trusted, []).append(edge)
         for edge, commitment in commitments.items():
             for endpoint in (edge.principal, edge.trusted):
                 conjunction = conjunctions.get(endpoint)
@@ -146,7 +210,7 @@ class SequencingGraph:
                     continue
                 color = (
                     EdgeColor.RED
-                    if endpoint == edge.principal and edge in interaction.priority_edges
+                    if endpoint == edge.principal and edge in priority
                     else EdgeColor.BLACK
                 )
                 edges.append(SGEdge(commitment, conjunction, color))
@@ -154,9 +218,7 @@ class SequencingGraph:
         personas: list[CommitmentNode] = []
         for edge, commitment in commitments.items():
             others = [
-                other.principal
-                for other in interaction.edges_at(edge.trusted)
-                if other != edge
+                other.principal for other in at_trusted[edge.trusted] if other != edge
             ]
             if others and all(trust.trusts(q, edge.principal) for q in others):
                 personas.append(commitment)

@@ -29,7 +29,14 @@ class RandomProblemConfig:
     * ``n_exchanges`` — how many mediated pairwise exchanges to add;
     * ``priority_probability`` — chance that a seller with multiple
       commitments marks one of them priority (red);
-    * ``max_price`` — uniform price ceiling in whole dollars.
+    * ``max_price`` — uniform price ceiling in whole dollars;
+    * ``hub_probability`` — chance that an exchange endpoint is drawn by
+      preferential attachment (weighted by how many exchanges a principal
+      already participates in) instead of uniformly.  Values near 1 grow a
+      few hub principals with very large conjunction fan-in, the worst case
+      for the reduction engine's adjacency indices.  At the default 0.0 the
+      generator draws exactly the same rng stream as before the knob existed,
+      so historical seeds reproduce bit-identical problems.
     """
 
     n_principals: int = 8
@@ -37,6 +44,7 @@ class RandomProblemConfig:
     priority_probability: float = 0.5
     max_price: int = 50
     allow_cycles: bool = False
+    hub_probability: float = 0.0
 
     def __post_init__(self) -> None:
         if self.n_principals < 2:
@@ -45,6 +53,8 @@ class RandomProblemConfig:
             raise ModelError("need at least one exchange")
         if not 0.0 <= self.priority_probability <= 1.0:
             raise ModelError("priority_probability must be in [0, 1]")
+        if not 0.0 <= self.hub_probability <= 1.0:
+            raise ModelError("hub_probability must be in [0, 1]")
         if not self.allow_cycles and self.n_exchanges > self.n_principals - 1:
             raise ModelError(
                 "an acyclic topology over n principals holds at most n-1 "
@@ -85,10 +95,22 @@ def random_problem(
             i = parent[i]
         return i
 
+    # Preferential attachment: one entry per endpoint of every placed
+    # exchange, so drawing from it uniformly weights by current degree.
+    endpoints: list[Party] = []
     attempts = 0
     while len(pairs) < config.n_exchanges and attempts < config.n_exchanges * 200:
         attempts += 1
-        buyer, seller = rng.sample(principals, 2)
+        if (
+            config.hub_probability > 0.0
+            and endpoints
+            and rng.random() < config.hub_probability
+        ):
+            hub = rng.choice(endpoints)
+            other = rng.choice([p for p in principals if p is not hub])
+            buyer, seller = (hub, other) if rng.random() < 0.5 else (other, hub)
+        else:
+            buyer, seller = rng.sample(principals, 2)
         if not config.allow_cycles:
             buyer_root = find(index_of[buyer])
             seller_root = find(index_of[seller])
@@ -96,6 +118,7 @@ def random_problem(
                 continue
             parent[buyer_root] = seller_root
         pairs.append((buyer, seller))
+        endpoints.extend((buyer, seller))
     if len(pairs) < config.n_exchanges:
         raise ModelError("could not place the requested number of acyclic exchanges")
     used = {p for pair in pairs for p in pair}

@@ -19,6 +19,10 @@ class TestConfig:
             RandomProblemConfig(n_exchanges=0)
         with pytest.raises(ModelError):
             RandomProblemConfig(priority_probability=1.5)
+        with pytest.raises(ModelError):
+            RandomProblemConfig(hub_probability=-0.1)
+        with pytest.raises(ModelError):
+            RandomProblemConfig(hub_probability=1.5)
 
 
 class TestGeneration:
@@ -68,6 +72,60 @@ class TestGeneration:
         q = random_problem(rng=random.Random(7))
         assert [e.label for e in p.interaction.edges] == [
             e.label for e in q.interaction.edges
+        ]
+
+
+class TestHubTopologies:
+    """The ``hub_probability`` stress knob (preferential attachment)."""
+
+    def _max_degree(self, problem):
+        degree: dict = {}
+        for edge in problem.interaction.edges:
+            degree[edge.principal] = degree.get(edge.principal, 0) + 1
+        return max(degree.values())
+
+    def test_hub_problems_validate_and_reduce(self):
+        config = RandomProblemConfig(
+            n_principals=12, n_exchanges=24, allow_cycles=True, hub_probability=0.9
+        )
+        for seed in range(5):
+            problem = random_problem(config, seed=seed)
+            problem.validate()
+            problem.feasibility()
+
+    def test_hub_probability_concentrates_degree(self):
+        uniform = RandomProblemConfig(
+            n_principals=30, n_exchanges=60, allow_cycles=True, hub_probability=0.0
+        )
+        hubby = RandomProblemConfig(
+            n_principals=30, n_exchanges=60, allow_cycles=True, hub_probability=0.95
+        )
+        uniform_max = sum(
+            self._max_degree(random_problem(uniform, seed=s)) for s in range(8)
+        )
+        hubby_max = sum(
+            self._max_degree(random_problem(hubby, seed=s)) for s in range(8)
+        )
+        assert hubby_max > uniform_max
+
+    def test_zero_hub_probability_preserves_seed_stream(self):
+        # The knob must not consume rng draws when disabled: a config with
+        # hub_probability=0.0 reproduces the problems historical seeds gave.
+        plain = random_problem(RandomProblemConfig(), seed=13)
+        knobbed = random_problem(RandomProblemConfig(hub_probability=0.0), seed=13)
+        assert [e.label for e in plain.interaction.edges] == [
+            e.label for e in knobbed.interaction.edges
+        ]
+        assert plain.interaction.priority_edges == knobbed.interaction.priority_edges
+
+    def test_hub_reproducible_by_seed(self):
+        config = RandomProblemConfig(
+            n_principals=10, n_exchanges=20, allow_cycles=True, hub_probability=0.7
+        )
+        a = random_problem(config, seed=3)
+        b = random_problem(config, seed=3)
+        assert [e.label for e in a.interaction.edges] == [
+            e.label for e in b.interaction.edges
         ]
 
 
