@@ -1,5 +1,6 @@
 """Analyses over the formal machinery: the §8 cost model, feasibility
-sweeps over random topologies, and §6 indemnity-capital studies."""
+sweeps over random topologies, §6 indemnity-capital studies, and the
+fault-injection chaos study."""
 
 from repro.analysis.batch import (
     BatchVerdict,
@@ -7,6 +8,14 @@ from repro.analysis.batch import (
     batch_specs,
     check_feasibility_batch,
     parallel_map,
+)
+from repro.analysis.chaos_study import (
+    ChaosConfig,
+    ChaosReport,
+    ChaosScenario,
+    ChaosVerdict,
+    chaos_scenarios,
+    chaos_study,
 )
 from repro.analysis.cost import (
     ChainCostRow,
@@ -47,6 +56,12 @@ __all__ = [
     "batch_specs",
     "check_feasibility_batch",
     "parallel_map",
+    "ChaosConfig",
+    "ChaosReport",
+    "ChaosScenario",
+    "ChaosVerdict",
+    "chaos_scenarios",
+    "chaos_study",
     "ChainCostRow",
     "MeasuredCost",
     "MessageCost",

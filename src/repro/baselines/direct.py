@@ -14,9 +14,11 @@ harms whichever honest party moved first against a cheat.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 
 from repro.errors import ModelError
+from repro.sim.faults import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -89,6 +91,49 @@ def direct_exchange(
         seller_delivered=seller_delivered,
         buyer_has_good=seller_delivered,
         seller_has_money=buyer_paid,
+    )
+
+
+def direct_exchange_under_faults(plan: FaultPlan) -> DirectOutcome:
+    """Play the naive two-message exchange over *plan*'s unreliable wire.
+
+    Both parties are honest here — the harm comes from the transport, which
+    has no escrow to undo a half-completed exchange.  The buyer pays first;
+    the payment or the countershipment may be dropped (per the plan's worst
+    link drop rate, no retransmission — the naive scheme has no
+    acknowledgements to retry on), and a permanently crashed party never
+    performs its half.  This is the differential arm of the chaos study: the
+    same fault schedules that the mediated protocol survives must provably
+    hurt *someone* here, or the harness isn't detecting anything.
+    """
+    # An independent stream, decorrelated from the simulator's rolls so the
+    # two arms of the differential see different but seed-reproducible luck.
+    rng = random.Random((plan.seed << 1) ^ 0x5EED)
+    drop = plan.worst_drop()
+    silent = bool(plan.permanently_silent())
+
+    messages = 0
+    buyer_paid = False          # the buyer relinquished the funds
+    seller_delivered = False    # the seller relinquished the good
+    seller_has_money = False
+    buyer_has_good = False
+
+    messages += 1
+    buyer_paid = True
+    if rng.random() >= drop:                  # payment survives the wire
+        seller_has_money = True
+        if not silent:                        # a live seller reciprocates
+            messages += 1
+            seller_delivered = True
+            if rng.random() >= drop:          # shipment survives the wire
+                buyer_has_good = True
+
+    return DirectOutcome(
+        messages=messages,
+        buyer_paid=buyer_paid,
+        seller_delivered=seller_delivered,
+        buyer_has_good=buyer_has_good,
+        seller_has_money=seller_has_money,
     )
 
 

@@ -13,6 +13,7 @@ Subcommands cover the full pipeline on a spec file or a built-in example:
 * ``distributed``— the §9 distributed reduction (local decisions);
 * ``petri``      — the §7.4 translation and its coverability verdict;
 * ``sweep``      — random-topology studies (priority / trust / gap);
+* ``chaos``      — seeded fault-injection sweep of the safety guarantee;
 * ``examples``   — list the built-in fixtures.
 
 Examples::
@@ -253,6 +254,43 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.chaos_study import ChaosConfig, chaos_study
+    from repro.sim.faults import FaultConfig
+
+    faults = FaultConfig(
+        drop=args.drop,
+        duplicate=args.duplicate,
+        max_delay=args.max_delay,
+        crash_probability=args.crash,
+        permanent_silence_probability=args.silence,
+        heal_at=args.heal,
+    )
+    config = ChaosConfig(
+        scenarios=args.scenarios,
+        seed=args.seed,
+        faults=faults,
+        deadline=args.deadline,
+    )
+    jobs = args.jobs if args.jobs > 0 else None  # 0 = all cores
+    report = chaos_study(config, processes=jobs)
+    for line in report.describe():
+        print(line)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+        print(f"wrote {args.report}")
+    if not report.differential_ok:
+        print(
+            "warning: direct baseline showed no harm — "
+            "the detector may not be exercising faults",
+            file=sys.stderr,
+        )
+    return 0 if report.violation_count == 0 and report.differential_ok else 1
+
+
 def _cmd_examples(_args: argparse.Namespace) -> int:
     for name, factory in EXAMPLES.items():
         problem = factory()
@@ -332,6 +370,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="fan the study over N worker processes (0 = all cores)",
     )
     p.set_defaults(handler=_cmd_sweep)
+
+    p = sub.add_parser(
+        "chaos",
+        help="fault-injection sweep: random problems x seeded fault plans",
+    )
+    p.add_argument("--scenarios", "-n", type=int, default=500)
+    p.add_argument("--seed", type=int, default=0, help="master seed for the sweep")
+    p.add_argument("--drop", type=float, default=0.15, help="per-link drop probability")
+    p.add_argument("--duplicate", type=float, default=0.10)
+    p.add_argument("--max-delay", type=float, default=3.0)
+    p.add_argument("--crash", type=float, default=0.35, help="per-scenario crash probability")
+    p.add_argument(
+        "--silence",
+        type=float,
+        default=0.4,
+        help="probability a crashed principal never restarts",
+    )
+    p.add_argument("--heal", type=float, default=30.0, help="link faults end at this time")
+    p.add_argument("--deadline", type=float, default=200.0)
+    p.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="fan scenarios over N worker processes (0 = all cores)",
+    )
+    p.add_argument("--report", metavar="PATH", help="write the full JSON report here")
+    p.set_defaults(handler=_cmd_chaos)
 
     p = sub.add_parser("examples", help="list built-in examples")
     p.set_defaults(handler=_cmd_examples)

@@ -17,6 +17,10 @@ can catch a single base class.  Subsystems refine it:
   :class:`SpecSemanticError`).
 * :class:`SimulationError` — runtime faults in the discrete-event simulator
   that indicate misuse of the API rather than modeled misbehaviour.
+* :class:`FaultInjectionError` — a fault-injection plan is malformed
+  (probabilities out of range, restart before crash, partition outside the
+  healing horizon) or targets a party it must not (permanently silencing a
+  trusted component).
 * :class:`ProtocolError` — a protocol role received a message it cannot
   handle, or was asked to perform a transfer it cannot honour.
 """
@@ -72,6 +76,10 @@ class SpecSemanticError(SpecError):
 
 class SimulationError(ReproError):
     """The simulator was driven into an invalid configuration."""
+
+
+class FaultInjectionError(SimulationError):
+    """A fault-injection plan is malformed or targets a forbidden party."""
 
 
 class ProtocolError(ReproError):

@@ -18,9 +18,17 @@ from repro.sim.agents import (
     wrong_item_sender,
 )
 from repro.sim.events import Event, EventQueue
-from repro.sim.ledger import Ledger, LedgerSnapshot, endow_from_interaction
-from repro.sim.network import Delivery, Network, NetworkStats
-from repro.sim.runtime import Simulation, SimulationResult, simulate
+from repro.sim.faults import (
+    FaultConfig,
+    FaultPlan,
+    LinkFault,
+    PartyFault,
+    RetryPolicy,
+    random_fault_plan,
+)
+from repro.sim.ledger import WIRE, Ledger, LedgerSnapshot, endow_from_interaction
+from repro.sim.network import Delivery, Envelope, Network, NetworkStats, TimerHandle
+from repro.sim.runtime import RunProvenance, Simulation, SimulationResult, simulate
 from repro.sim.safety import (
     EdgeOutcome,
     PartyVerdict,
@@ -39,12 +47,22 @@ __all__ = [
     "wrong_item_sender",
     "Event",
     "EventQueue",
+    "FaultConfig",
+    "FaultPlan",
+    "LinkFault",
+    "PartyFault",
+    "RetryPolicy",
+    "random_fault_plan",
+    "WIRE",
     "Ledger",
     "LedgerSnapshot",
     "endow_from_interaction",
     "Delivery",
+    "Envelope",
     "Network",
     "NetworkStats",
+    "TimerHandle",
+    "RunProvenance",
     "Simulation",
     "SimulationResult",
     "simulate",

@@ -16,6 +16,14 @@ Adversaries deviate in the two ways the paper worries about:
 The point of the safety benchmarks is that under the synthesized protocol
 *no honest party is harmed* whatever these adversaries do, whereas naive
 direct exchange harms someone.
+
+Under fault injection (see :mod:`repro.sim.faults`) every agent gains two
+coping behaviours via :class:`ResilientNode`: idempotent duplicate
+suppression keyed on the transport's envelope keys, and send-timeouts with
+capped exponential backoff that retransmit undelivered messages until a
+retry cap, after which the message is abandoned and the wire returns the
+asset.  Both are inert on the reliable transport, so the paper's original
+semantics are untouched when no fault plan is installed.
 """
 
 from __future__ import annotations
@@ -26,9 +34,67 @@ from repro.core.actions import Action, transfer
 from repro.core.items import Document, Item
 from repro.core.parties import Party
 from repro.core.protocol import PrincipalRole
+from repro.sim.faults import RetryPolicy
 
 
-class PrincipalAgent:
+class ResilientNode:
+    """Fault-coping machinery shared by principal and trusted agents.
+
+    Subclasses provide ``party``, ``runtime`` and call :meth:`_init_resilience`
+    during construction.  All of it degrades to pass-through behaviour when
+    the runtime has no fault plan (or, in unit tests, no transport at all).
+    """
+
+    #: Backoff schedule for unacknowledged sends; subclasses may override.
+    retry_policy = RetryPolicy()
+
+    def _init_resilience(self) -> None:
+        self._seen_keys: set[int] = set()
+
+    def _is_duplicate(self, key: int | None) -> bool:
+        """Record *key* and report whether it was already processed."""
+        if key is None:
+            return False
+        if key in self._seen_keys:
+            return True
+        self._seen_keys.add(key)
+        return False
+
+    def _dispatch(self, action: Action):
+        """Transmit *action* and arm the retry schedule for it."""
+        envelope = self.runtime.transmit(action)
+        self._arm_retries(envelope)
+        return envelope
+
+    def _arm_retries(self, envelope) -> None:
+        if envelope is None or getattr(self.runtime, "fault_plan", None) is None:
+            return
+        network = self.runtime.network
+        policy = self.retry_policy
+
+        def check(attempt: int) -> None:
+            if network.envelope(envelope.key).delivered:
+                return
+            if attempt > policy.max_retries:
+                network.abandon(envelope.key)
+                return
+            if network.retransmit(envelope.key):
+                self.runtime.schedule_for(
+                    self.party,
+                    policy.timeout_for(attempt),
+                    lambda: check(attempt + 1),
+                    label=f"retry#{attempt} by {self.party.name}",
+                )
+
+        self.runtime.schedule_for(
+            self.party,
+            policy.timeout_for(1),
+            lambda: check(1),
+            label=f"send-timeout by {self.party.name}",
+        )
+
+
+class PrincipalAgent(ResilientNode):
     """Base class: a principal attached to a runtime (see runtime.py)."""
 
     def __init__(self, party: Party, role: PrincipalRole, runtime) -> None:
@@ -38,18 +104,22 @@ class PrincipalAgent:
         self.observed: set[Action] = set()
         self.sent: list[Action] = []
         self._next_instruction = 0
+        self._init_resilience()
 
     def start(self) -> None:
         """Called once when the simulation begins."""
         self._try_fire()
 
-    def receive(self, action: Action) -> None:
+    def receive(self, action: Action, key: int | None = None) -> None:
         """Called by the network for every action delivered to this party.
 
         Observations are normalized (deadline stripped) before matching
         against instruction guards: the synthesized preconditions are
         deadline-free, while live notifies carry their §2.5 expiry stamp.
+        Duplicate deliveries (same envelope key) are suppressed.
         """
+        if self._is_duplicate(key):
+            return
         self.observed.add(replace(action, deadline=None))
         self._try_fire()
 
@@ -85,7 +155,7 @@ class PrincipalAgent:
 
     def _send(self, action: Action) -> None:
         """Dispatch the action (subclasses may delay it)."""
-        self.runtime.transmit(action)
+        self._dispatch(action)
 
 
 class HonestPrincipal(PrincipalAgent):
@@ -136,11 +206,11 @@ class AdversarialPrincipal(PrincipalAgent):
         if self.strategy.delay > 0:
             self.runtime.queue.schedule(
                 self.strategy.delay,
-                lambda: self.runtime.transmit(action),
+                lambda: self._dispatch(action),
                 label=f"delayed send by {self.party.name}",
             )
         else:
-            self.runtime.transmit(action)
+            self._dispatch(action)
 
 
 def withholder(after: int = 0) -> AdversaryStrategy:

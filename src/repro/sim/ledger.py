@@ -19,8 +19,15 @@ from dataclasses import dataclass
 from repro.core.actions import Action
 from repro.core.interaction import InteractionGraph
 from repro.core.items import Item, Money
-from repro.core.parties import Party
+from repro.core.parties import Party, Role
 from repro.errors import SimulationError
+
+#: Custody account for assets in transit on an unreliable wire.  Under fault
+#: injection an asset leaves its sender when the message is sent and reaches
+#: the recipient only when the message is *delivered*; in between it is held
+#: here, so a dropped message can neither destroy the asset nor leave it
+#: spendable in two places.  The reliable transport never uses this account.
+WIRE = Party("wire-in-transit", Role.TRUSTED)
 
 
 @dataclass(frozen=True)
@@ -104,6 +111,33 @@ class Ledger:
                     f"{holder.name if holder else 'nobody'}"
                 )
             self._holdings[item.label] = recipient
+
+    # ----------------------------------------------------------- wire custody
+
+    def hold_in_transit(self, action: Action) -> None:
+        """Move the action's asset from its effective sender to the wire."""
+        if not action.is_transfer:
+            return
+        assert action.item is not None
+        self._move(action.effective_sender, WIRE, action.item)
+
+    def release_from_transit(self, action: Action) -> None:
+        """Deliver the wire's custody to the action's effective recipient."""
+        if not action.is_transfer:
+            return
+        assert action.item is not None
+        self._move(WIRE, action.effective_recipient, action.item)
+
+    def return_from_transit(self, action: Action) -> None:
+        """Hand an undeliverable asset back to its effective sender."""
+        if not action.is_transfer:
+            return
+        assert action.item is not None
+        self._move(WIRE, action.effective_sender, action.item)
+
+    def in_transit(self) -> tuple[int, frozenset[str]]:
+        """Wire custody right now: (cents held, document labels held)."""
+        return self._balances.get(WIRE, 0), self.documents_of(WIRE)
 
     # ----------------------------------------------------------------- query
 

@@ -1,15 +1,34 @@
 """Message transport for the simulator.
 
 Every communication in the model *is* an action (a transfer or a notify), so
-the network carries :class:`~repro.core.actions.Action` payloads.  Delivery
-is reliable and FIFO per sender with a configurable fixed latency; loss and
-misbehaviour are modeled at the *agent* level (an adversary that never sends)
-rather than the transport level, matching the paper's failure model — parties
-renege, wires do not.
+the network carries :class:`~repro.core.actions.Action` payloads.  Two
+regimes coexist:
+
+* **Reliable** (no fault plan — the paper's assumption, "parties renege,
+  wires do not"): delivery is FIFO per sender with a fixed latency, exactly
+  once, and asset movement is the runtime's business at send time.
+* **Unreliable** (a :class:`~repro.sim.faults.FaultPlan` is installed): each
+  send becomes an :class:`Envelope` that the transport attempts to deliver
+  under seeded per-link drop/duplicate/delay/partition faults and per-party
+  crash faults.  Senders drive retransmission via :meth:`Network.retransmit`
+  (the agents own the timeout/backoff policy); the first successful delivery
+  of an envelope fires the runtime's custody-release hook and is logged,
+  duplicate copies reach the handler with the same dedup key and no asset
+  effect.  Deliveries to a *crashed* party still land (the host accepts the
+  asset) but the handler call is parked in a mailbox replayed at restart;
+  a permanently silent party simply never replays.  Per-link delivery times
+  are clamped monotone, so delay jitter alone cannot reorder one sender's
+  messages (the FIFO claim survives delay injection — the property suite
+  holds the transport to this).
+
+Handlers are registered per party and invoked as ``handler(action, key)``
+where *key* is the envelope's dedup key (``None`` never occurs via the
+network; direct unit-test invocations may omit it).
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -17,6 +36,7 @@ from repro.core.actions import Action
 from repro.core.parties import Party
 from repro.errors import SimulationError
 from repro.sim.events import EventQueue
+from repro.sim.faults import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -29,40 +49,107 @@ class Delivery:
 
 
 @dataclass
+class Envelope:
+    """One logical message and its transport fate."""
+
+    key: int
+    action: Action
+    sent_at: float
+    attempts: int = 0
+    delivered: bool = False
+    delivered_at: float | None = None
+    abandoned: bool = False
+
+
+@dataclass
 class NetworkStats:
-    """Counters the §8 cost analysis reads off after a run."""
+    """Counters the §8 cost analysis and the chaos study read off a run."""
 
     messages_sent: int = 0
     messages_delivered: int = 0
     transfers: int = 0
     notifies: int = 0
     by_sender: dict[Party, int] = field(default_factory=dict)
+    # Fault-injection counters (all zero on the reliable transport).
+    attempts: int = 0
+    dropped: int = 0
+    duplicates: int = 0
+    duplicate_deliveries: int = 0
+    retransmits: int = 0
+    deferred: int = 0
+    abandoned: int = 0
+
+
+class TimerHandle:
+    """A cancellable, crash-deferrable timer returned by ``schedule_for``.
+
+    Duck-types the slice of :class:`~repro.sim.events.Event` the agents use
+    (``time`` and ``cancel``) while surviving re-scheduling across a crash
+    window, which a bare event cannot.
+    """
+
+    def __init__(self, time: float) -> None:
+        self.time = time
+        self.cancelled = False
+        self._event = None
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        if self._event is not None:
+            self._event.cancel()
 
 
 class Network:
     """Schedules action deliveries on the shared event queue."""
 
-    def __init__(self, queue: EventQueue, latency: float = 1.0) -> None:
+    def __init__(
+        self,
+        queue: EventQueue,
+        latency: float = 1.0,
+        fault_plan: FaultPlan | None = None,
+    ) -> None:
         if latency < 0:
             raise SimulationError("latency must be non-negative")
         self.queue = queue
         self.latency = latency
+        self.fault_plan = fault_plan.validate() if fault_plan is not None else None
         self.stats = NetworkStats()
         self.log: list[Delivery] = []
-        self._handlers: dict[Party, Callable[[Action], None]] = {}
+        self._handlers: dict[Party, Callable[..., None]] = {}
+        self._envelopes: dict[int, Envelope] = {}
+        self._keys = itertools.count(1)
+        self._rng = fault_plan.rng() if fault_plan is not None else None
+        self._fifo_floor: dict[tuple[Party, Party], float] = {}
+        self._mailbox: dict[Party, list[tuple[Action, int]]] = {}
+        # The runtime installs these to move wire custody on the ledger.
+        self.custody_release_hook: Callable[[Envelope], None] | None = None
+        self.custody_return_hook: Callable[[Envelope], None] | None = None
+        if self.fault_plan is not None:
+            for fault in self.fault_plan.parties:
+                if fault.restart_at is not None:
+                    queue.schedule_at(
+                        fault.restart_at,
+                        lambda name=fault.party: self._drain_mailbox(name),
+                        label=f"restart {fault.party}",
+                    )
 
-    def register(self, party: Party, handler: Callable[[Action], None]) -> None:
+    @property
+    def faulty(self) -> bool:
+        return self.fault_plan is not None
+
+    def register(self, party: Party, handler: Callable[..., None]) -> None:
         """Attach the node that receives messages addressed to *party*."""
         if party in self._handlers:
             raise SimulationError(f"{party.name} is already registered on the network")
         self._handlers[party] = handler
 
-    def send(self, action: Action) -> None:
-        """Send *action* to its effective recipient after the latency."""
+    # -------------------------------------------------------------------- send
+
+    def send(self, action: Action) -> Envelope:
+        """Send *action* to its effective recipient; returns the envelope."""
         recipient = action.effective_recipient
         if recipient not in self._handlers:
             raise SimulationError(f"no node registered for {recipient.name}")
-        sent_at = self.queue.now
         sender = action.effective_sender
         self.stats.messages_sent += 1
         self.stats.by_sender[sender] = self.stats.by_sender.get(sender, 0) + 1
@@ -70,10 +157,156 @@ class Network:
             self.stats.transfers += 1
         else:
             self.stats.notifies += 1
+        envelope = Envelope(next(self._keys), action, self.queue.now)
+        self._envelopes[envelope.key] = envelope
+        self._attempt(envelope)
+        return envelope
 
-        def deliver() -> None:
+    def retransmit(self, key: int) -> bool:
+        """Re-attempt an undelivered envelope; no-op once delivered/abandoned."""
+        envelope = self._envelopes[key]
+        if envelope.delivered or envelope.abandoned:
+            return False
+        self.stats.retransmits += 1
+        self._attempt(envelope)
+        return True
+
+    def abandon(self, key: int) -> bool:
+        """Give up on an envelope: the wire returns custody to the sender."""
+        envelope = self._envelopes[key]
+        if envelope.delivered or envelope.abandoned:
+            return False
+        envelope.abandoned = True
+        self.stats.abandoned += 1
+        if self.custody_return_hook is not None:
+            self.custody_return_hook(envelope)
+        return True
+
+    def is_delivered(self, key: int) -> bool:
+        return self._envelopes[key].delivered
+
+    def envelope(self, key: int) -> Envelope:
+        return self._envelopes[key]
+
+    @property
+    def in_flight(self) -> list[Envelope]:
+        """Envelopes neither delivered nor abandoned yet."""
+        return [
+            e for e in self._envelopes.values() if not e.delivered and not e.abandoned
+        ]
+
+    def resolve_stranded(self) -> list[Envelope]:
+        """Abandon every still-undelivered envelope (quiescence backstop).
+
+        A message can strand when its sender's retry timers died with the
+        sender (permanent silence) or were exhausted without an explicit
+        abandon.  Returning custody keeps the final ledger meaningful: the
+        asset is back with whoever relinquished it — the §2.3 status quo.
+        """
+        stranded = self.in_flight
+        for envelope in stranded:
+            self.abandon(envelope.key)
+        return stranded
+
+    # ----------------------------------------------------------------- faults
+
+    def _attempt(self, envelope: Envelope) -> None:
+        """Schedule one delivery attempt, running the fault gauntlet."""
+        envelope.attempts += 1
+        self.stats.attempts += 1
+        action = envelope.action
+        now = self.queue.now
+        plan = self.fault_plan
+        times = [now + self.latency]
+        if plan is not None and plan.active(now):
+            link = plan.link_for(
+                action.effective_sender.name, action.effective_recipient.name
+            )
+            if link is not None:
+                if link.partitioned(now) or (
+                    link.drop > 0 and self._rng.random() < link.drop
+                ):
+                    self.stats.dropped += 1
+                    return  # this attempt is lost; the asset stays on the wire
+                jitter = (
+                    self._rng.uniform(0.0, link.max_delay) if link.max_delay > 0 else 0.0
+                )
+                times = [now + self.latency + jitter]
+                if link.duplicate > 0 and self._rng.random() < link.duplicate:
+                    self.stats.duplicates += 1
+                    times.append(times[0] + self.latency)
+        for t in times:
+            if plan is not None:
+                # Clamp per-link delivery times monotone: jitter may stretch
+                # the wire but never lets a later message overtake an earlier
+                # one on the same directed link.
+                pair = (action.effective_sender, action.effective_recipient)
+                t = max(t, self._fifo_floor.get(pair, 0.0))
+                self._fifo_floor[pair] = t
+            self.queue.schedule_at(
+                t, lambda e=envelope: self._deliver(e), label=str(action)
+            )
+
+    def _deliver(self, envelope: Envelope) -> None:
+        if envelope.abandoned:
+            return  # a late copy of a message the wire already bounced
+        recipient = envelope.action.effective_recipient
+        if not envelope.delivered:
+            envelope.delivered = True
+            envelope.delivered_at = self.queue.now
+            if self.custody_release_hook is not None:
+                self.custody_release_hook(envelope)
             self.stats.messages_delivered += 1
-            self.log.append(Delivery(sent_at, self.queue.now, action))
-            self._handlers[recipient](action)
+            self.log.append(Delivery(envelope.sent_at, self.queue.now, envelope.action))
+        else:
+            self.stats.duplicate_deliveries += 1
+        plan = self.fault_plan
+        if plan is not None and plan.is_crashed(recipient.name, self.queue.now):
+            # The host accepted the asset; the process is down.  Park the
+            # handler call until restart (never, for permanent silence).
+            self.stats.deferred += 1
+            self._mailbox.setdefault(recipient, []).append(
+                (envelope.action, envelope.key)
+            )
+            return
+        self._handlers[recipient](envelope.action, envelope.key)
 
-        self.queue.schedule(self.latency, deliver, label=str(action))
+    def _drain_mailbox(self, name: str) -> None:
+        """Replay deliveries parked while the party's process was down."""
+        party = next((p for p in self._handlers if p.name == name), None)
+        if party is None:
+            return
+        for action, key in self._mailbox.pop(party, []):
+            self._handlers[party](action, key)
+
+    # ----------------------------------------------------------------- timers
+
+    def schedule_for(
+        self,
+        party: Party,
+        delay: float,
+        callback: Callable[[], None],
+        label: str = "",
+    ) -> TimerHandle:
+        """Schedule a timer owned by *party*'s process.
+
+        While the party is crashed the timer defers to its restart instant;
+        if the party never restarts the timer dies with it.  On the reliable
+        transport this is a plain delayed callback.
+        """
+        handle = TimerHandle(self.queue.now + delay)
+
+        def fire() -> None:
+            if handle.cancelled:
+                return
+            plan = self.fault_plan
+            if plan is not None and plan.is_crashed(party.name, self.queue.now):
+                restart = plan.restart_time(party.name)
+                if restart is None:
+                    return  # the process never comes back; neither does this
+                handle._event = self.queue.schedule_at(restart, fire, label)
+                return
+            callback()
+
+        handle._event = self.queue.schedule(delay, fire, label)
+        return handle

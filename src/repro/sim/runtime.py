@@ -3,9 +3,21 @@
 :class:`Simulation` builds the whole apparatus for one exchange problem —
 event queue, network, ledger with endowments, one agent per party — runs to
 quiescence, and returns a :class:`SimulationResult` with the delivery log,
-ledger snapshots, and network statistics.  Asset movements are applied to the
-ledger at *send* time (an asset is never in two places), and conservation is
-checked after every movement.
+ledger snapshots, and network statistics.
+
+Asset semantics depend on the transport.  On the reliable wire (no fault
+plan) movements are applied to the ledger at *send* time — an asset is never
+in two places and delivery is certain, so this is exact.  Under fault
+injection a send only moves the asset into the wire's custody account
+(:data:`repro.sim.ledger.WIRE`); the first delivery releases it to the
+recipient, and an abandoned message returns it to the sender.  Conservation
+is checked after every movement in both regimes.
+
+Quiescence is more than an empty event queue: a run can drain its timers
+while messages are still undelivered (a permanently silent sender's retry
+timers die with it).  :meth:`Simulation.run` therefore resolves stranded
+envelopes after the loop and reports ``quiescent=False`` with a count when
+any existed — an in-flight message can never masquerade as completion.
 
 Adversaries are injected per party name; their bogus substitute documents are
 endowed automatically so a cheat physically *can* ship the wrong item.
@@ -15,6 +27,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.actions import Action
 from repro.core.execution import recover_execution
@@ -23,7 +36,7 @@ from repro.core.parties import Party
 from repro.core.problem import ExchangeProblem
 from repro.core.protocol import Protocol, synthesize_protocol
 from repro.core.states import ExchangeState
-from repro.errors import SimulationError
+from repro.errors import FaultInjectionError, SimulationError
 from repro.sim.agents import (
     AdversarialPrincipal,
     AdversaryStrategy,
@@ -31,9 +44,23 @@ from repro.sim.agents import (
     PrincipalAgent,
 )
 from repro.sim.events import EventQueue
+from repro.sim.faults import FaultPlan
 from repro.sim.ledger import Ledger, LedgerSnapshot, endow_from_interaction
-from repro.sim.network import Network, NetworkStats
+from repro.sim.network import Envelope, Network, NetworkStats, TimerHandle
 from repro.sim.trusted_agent import TrustedAgent
+
+
+@dataclass(frozen=True)
+class RunProvenance:
+    """Everything needed to replay a run bit-for-bit from its result."""
+
+    problem_name: str
+    seed: "int | float | None" = None  # the problem/scenario seed, if any
+    fault_seed: int | None = None
+    fault_digest: str | None = None
+    latency: float = 1.0
+    deadline: float | None = None
+    working_capital_cents: int = 0
 
 
 @dataclass
@@ -48,6 +75,9 @@ class SimulationResult:
     delivered: list[Action] = field(default_factory=list)
     completed_agents: frozenset[Party] = frozenset()
     reversed_agents: frozenset[Party] = frozenset()
+    provenance: RunProvenance | None = None
+    stranded_messages: int = 0
+    quiescent: bool = True
 
     @property
     def global_state(self) -> ExchangeState:
@@ -75,11 +105,17 @@ class Simulation:
         adversaries: dict[str, AdversaryStrategy] | None = None,
         latency: float = 1.0,
         working_capital_cents: int = 0,
+        fault_plan: FaultPlan | None = None,
+        seed: int | None = None,
     ) -> None:
         self.problem = problem
         self.protocol = protocol
         self.queue = EventQueue()
-        self.network = Network(self.queue, latency=latency)
+        self.fault_plan = fault_plan
+        self.seed = seed
+        if fault_plan is not None:
+            self._check_plan_targets(fault_plan)
+        self.network = Network(self.queue, latency=latency, fault_plan=fault_plan)
         self.ledger = Ledger()
         adversaries = adversaries or {}
 
@@ -116,9 +152,42 @@ class Simulation:
             self.trusted[agent_party] = node
             self.network.register(agent_party, node.receive)
 
+        if fault_plan is not None:
+            self.network.custody_release_hook = self._release_custody
+            self.network.custody_return_hook = self._return_custody
+
         self.initial = self.ledger.seal()
         self._delivered: list[Action] = []
         self.network.log = _LoggingList(self._delivered)  # type: ignore[assignment]
+        self.provenance = RunProvenance(
+            problem_name=problem.name,
+            seed=seed,
+            fault_seed=fault_plan.seed if fault_plan is not None else None,
+            fault_digest=fault_plan.digest() if fault_plan is not None else None,
+            latency=latency,
+            deadline=max(
+                (s.deadline for s in protocol.trusted_specs.values() if s.deadline),
+                default=None,
+            ),
+            working_capital_cents=working_capital_cents,
+        )
+
+    def _check_plan_targets(self, plan: FaultPlan) -> None:
+        """A plan may only fault parties that exist, and may never silence
+        a trusted component forever — trusted infrastructure can crash and
+        restart, but a vanished escrow holder would take deposits with it."""
+        principals = {p.name for p in self.problem.interaction.principals}
+        trusted = {p.name for p in self.protocol.trusted_specs}
+        for fault in plan.parties:
+            if fault.party not in principals | trusted:
+                raise FaultInjectionError(
+                    f"fault plan targets unknown party {fault.party!r}"
+                )
+            if fault.permanent and fault.party in trusted:
+                raise FaultInjectionError(
+                    f"trusted component {fault.party!r} cannot be permanently "
+                    "silenced (it may crash and restart, never vanish)"
+                )
 
     # ----------------------------------------------------------- construction
 
@@ -130,13 +199,23 @@ class Simulation:
         latency: float = 1.0,
         deadline: float | None = None,
         working_capital_cents: int = 0,
+        fault_plan: FaultPlan | None = None,
+        seed: int | None = None,
     ) -> "Simulation":
         """Synthesize the protocol for a feasible problem and wire it up."""
         sequence = problem.execution_sequence()
         protocol = synthesize_protocol(
             problem.interaction, sequence, problem.name, deadline=deadline
         )
-        return cls(problem, protocol, adversaries, latency, working_capital_cents)
+        return cls(
+            problem,
+            protocol,
+            adversaries,
+            latency,
+            working_capital_cents,
+            fault_plan=fault_plan,
+            seed=seed,
+        )
 
     @classmethod
     def from_plan(
@@ -147,6 +226,8 @@ class Simulation:
         latency: float = 1.0,
         deadline: float | None = None,
         working_capital_cents: int = 0,
+        fault_plan: FaultPlan | None = None,
+        seed: int | None = None,
     ) -> "Simulation":
         """Wire up an indemnity-unlocked exchange (§6)."""
         base = recover_execution(plan.verdict.trace)
@@ -158,15 +239,45 @@ class Simulation:
             deadline=deadline,
             indemnities=plan.offers,
         )
-        return cls(problem, protocol, adversaries, latency, working_capital_cents)
+        return cls(
+            problem,
+            protocol,
+            adversaries,
+            latency,
+            working_capital_cents,
+            fault_plan=fault_plan,
+            seed=seed,
+        )
 
     # ------------------------------------------------------------------- run
 
-    def transmit(self, action: Action) -> None:
-        """Move the asset on the ledger and put the message on the wire."""
-        self.ledger.apply(action)
+    def transmit(self, action: Action) -> Envelope:
+        """Move the asset (to the recipient, or into wire custody under
+        fault injection) and put the message on the wire."""
+        if self.fault_plan is not None:
+            self.ledger.hold_in_transit(action)
+        else:
+            self.ledger.apply(action)
         self.ledger.check()
-        self.network.send(action)
+        return self.network.send(action)
+
+    def schedule_for(
+        self,
+        party: Party,
+        delay: float,
+        callback: Callable[[], None],
+        label: str = "",
+    ) -> TimerHandle:
+        """A crash-aware timer owned by *party* (see Network.schedule_for)."""
+        return self.network.schedule_for(party, delay, callback, label)
+
+    def _release_custody(self, envelope: Envelope) -> None:
+        self.ledger.release_from_transit(envelope.action)
+        self.ledger.check()
+
+    def _return_custody(self, envelope: Envelope) -> None:
+        self.ledger.return_from_transit(envelope.action)
+        self.ledger.check()
 
     def run(self, max_time: float = math.inf) -> SimulationResult:
         """Run to quiescence (or *max_time*) and summarize."""
@@ -181,6 +292,7 @@ class Simulation:
             if event is None:
                 break
             event.callback()
+        stranded = self.network.resolve_stranded() if self.fault_plan else []
         return SimulationResult(
             problem_name=self.problem.name,
             duration=self.queue.now,
@@ -194,6 +306,9 @@ class Simulation:
             reversed_agents=frozenset(
                 p for p, node in self.trusted.items() if node.reversed
             ),
+            provenance=self.provenance,
+            stranded_messages=len(stranded),
+            quiescent=not stranded,
         )
 
 
@@ -215,9 +330,17 @@ def simulate(
     latency: float = 1.0,
     deadline: float | None = 100.0,
     working_capital_cents: int = 0,
+    fault_plan: FaultPlan | None = None,
+    seed: int | None = None,
 ) -> SimulationResult:
     """One-call convenience: synthesize, simulate, summarize."""
     sim = Simulation.from_problem(
-        problem, adversaries, latency, deadline, working_capital_cents
+        problem,
+        adversaries,
+        latency,
+        deadline,
+        working_capital_cents,
+        fault_plan=fault_plan,
+        seed=seed,
     )
     return sim.run()

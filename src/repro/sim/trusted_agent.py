@@ -15,6 +15,14 @@ A trusted component:
   covered counterpart did not, and refunded to the offeror otherwise.
 
 The agent never originates value: every outgoing asset entered it first.
+
+Under fault injection the agent inherits :class:`ResilientNode`: duplicate
+deliveries of the same deposit envelope are suppressed (rather than bounced
+as §2.5 over-deposits), outgoing releases and reversals are retried under
+the backoff policy, and the deadline timer is crash-deferred — if the
+component's process is down when the deadline passes, the reversal fires at
+restart, which is exactly the "partial-deposit + crash" interleaving the
+chaos harness exercises.
 """
 
 from __future__ import annotations
@@ -25,11 +33,16 @@ from repro.core.actions import Action, notify, transfer
 from repro.core.items import Money
 from repro.core.parties import Party
 from repro.core.protocol import TrustedExchangeSpec
-from repro.sim.events import Event
+from repro.sim.agents import ResilientNode
+from repro.sim.faults import RetryPolicy
 
 
-class TrustedAgent:
+class TrustedAgent(ResilientNode):
     """Executes the escrow for one trusted component."""
+
+    #: The trusted component is infrastructure: it never gives up on a
+    #: release or reversal while the run lasts.
+    retry_policy = RetryPolicy(max_retries=32)
 
     def __init__(self, spec: TrustedExchangeSpec, runtime) -> None:
         self.spec = spec
@@ -41,14 +54,17 @@ class TrustedAgent:
         self.reversed = False
         self.notified: set[Party] = set()
         self.rejected: list[Action] = []
-        self._timeout_event: Event | None = None
+        self._timeout_event = None
+        self._init_resilience()
 
     def start(self) -> None:
         """Nothing to do until a deposit arrives."""
 
     # --------------------------------------------------------------- receive
 
-    def receive(self, action: Action) -> None:
+    def receive(self, action: Action, key: int | None = None) -> None:
+        if self._is_duplicate(key):
+            return  # a re-delivered copy, not a fresh over-deposit
         if not action.is_transfer or action.inverted:
             return  # notifies / stray reversals carry no escrow duty
         assert action.item is not None
@@ -68,7 +84,7 @@ class TrustedAgent:
             # straight back (§2.5: a trusted component may reverse actions
             # in which it was the recipient).
             self.rejected.append(action)
-            self.runtime.transmit(action.inverse())
+            self._dispatch(action.inverse())
             return
         self.received[sender] = action
         self._arm_timeout()
@@ -100,7 +116,7 @@ class TrustedAgent:
             notice = notify(self.party, pending[0])
             if expiry is not None:
                 notice = replace(notice, deadline=expiry)
-            self.runtime.transmit(notice)
+            self._dispatch(notice)
 
     def _complete(self) -> None:
         self.completed = True
@@ -113,9 +129,9 @@ class TrustedAgent:
             key=lambda a: (isinstance(a.item, Money), a.recipient.name)
         )
         for release in releases:
-            self.runtime.transmit(release)
+            self._dispatch(release)
         for escrow in self.escrows.values():
-            self.runtime.transmit(escrow.inverse())  # refund on success
+            self._dispatch(escrow.inverse())  # refund on success
         self.escrows.clear()
 
     # --------------------------------------------------------------- timeout
@@ -123,8 +139,11 @@ class TrustedAgent:
     def _arm_timeout(self) -> None:
         if self.spec.deadline is None or self._timeout_event is not None:
             return
-        self._timeout_event = self.runtime.queue.schedule(
-            self.spec.deadline, self._on_timeout, label=f"timeout@{self.party.name}"
+        self._timeout_event = self.runtime.schedule_for(
+            self.party,
+            self.spec.deadline,
+            self._on_timeout,
+            label=f"timeout@{self.party.name}",
         )
 
     def _disarm_timeout(self) -> None:
@@ -138,7 +157,7 @@ class TrustedAgent:
         self.reversed = True
         self._settle_indemnities()
         for deposit in self.received.values():
-            self.runtime.transmit(deposit.inverse())
+            self._dispatch(deposit.inverse())
         self.received.clear()
 
     def _settle_indemnities(self) -> None:
@@ -151,8 +170,8 @@ class TrustedAgent:
             if beneficiary_performed and not offeror_performed:
                 # Forfeit: hand the escrowed sum to the beneficiary.
                 assert escrow.item is not None
-                self.runtime.transmit(
+                self._dispatch(
                     transfer(self.party, offer.beneficiary, escrow.item)
                 )
             else:
-                self.runtime.transmit(escrow.inverse())
+                self._dispatch(escrow.inverse())

@@ -1,0 +1,90 @@
+"""Tests for the chaos study: determinism, safety, and the differential arm."""
+
+from repro.analysis.chaos_study import (
+    ChaosConfig,
+    chaos_scenarios,
+    chaos_study,
+    _run_scenario,
+)
+from repro.sim.faults import FaultConfig
+
+
+def _config(n=40, seed=0, **faults):
+    return ChaosConfig(scenarios=n, seed=seed, faults=FaultConfig(**faults))
+
+
+class TestChaosStudy:
+    def test_zero_violations_for_feasible_protocol_runs(self):
+        report = chaos_study(_config(n=60, seed=0), processes=1)
+        assert report.violation_count == 0
+        assert report.unsafe_scenarios == ()
+
+    def test_differential_baseline_detects_harm(self):
+        report = chaos_study(_config(n=60, seed=0), processes=1)
+        assert report.baseline_violations >= 1
+        assert report.differential_ok
+
+    def test_serial_and_pooled_verdicts_identical(self):
+        config = _config(n=24, seed=3)
+        serial = chaos_study(config, processes=1)
+        pooled = chaos_study(config, processes=2)
+        assert serial.verdicts == pooled.verdicts
+
+    def test_same_seed_reproduces_same_report(self):
+        a = chaos_study(_config(n=20, seed=9), processes=1)
+        b = chaos_study(_config(n=20, seed=9), processes=1)
+        assert a.verdicts == b.verdicts
+
+    def test_different_seeds_differ(self):
+        a = chaos_study(_config(n=20, seed=1), processes=1)
+        b = chaos_study(_config(n=20, seed=2), processes=1)
+        assert a.verdicts != b.verdicts
+
+    def test_scenarios_pin_their_seeds(self):
+        cells = chaos_scenarios(_config(n=10, seed=4))
+        again = chaos_scenarios(_config(n=10, seed=4))
+        assert cells == again
+        assert len({c.fault_seed for c in cells}) > 1
+
+    def test_single_scenario_is_replayable_from_its_row(self):
+        config = _config(n=12, seed=6)
+        report = chaos_study(config, processes=1)
+        row = next(v for v in report.verdicts if v.simulated)
+        cell = chaos_scenarios(config)[row.index]
+        assert cell.problem_seed == row.problem_seed
+        assert cell.fault_seed == row.fault_seed
+        replay = _run_scenario(cell)
+        assert replay == row
+
+    def test_report_serializes(self):
+        import json
+
+        report = chaos_study(_config(n=10, seed=0), processes=1)
+        blob = json.dumps(report.to_dict())
+        assert '"violation_count": 0' in blob
+
+    def test_infeasible_problems_recorded_not_simulated(self):
+        from repro.workloads.random_graphs import RandomProblemConfig
+
+        config = ChaosConfig(
+            scenarios=30,
+            seed=0,
+            problems=RandomProblemConfig(priority_probability=1.0),
+        )
+        report = chaos_study(config, processes=1)
+        skipped = [v for v in report.verdicts if not v.feasible]
+        assert skipped, "a priority-saturated sweep must hit infeasible cases"
+        assert all(not v.simulated and v.recovery == "not-run" for v in skipped)
+
+    def test_recovery_paths_cover_reversal(self):
+        # A crash-heavy sweep must exercise the §2.5 reversal path, not just
+        # the happy one.
+        report = chaos_study(
+            _config(n=80, seed=0, crash_probability=0.9,
+                    permanent_silence_probability=0.8),
+            processes=1,
+        )
+        counts = report.recovery_counts
+        assert counts.get("complete", 0) > 0
+        assert counts.get("reversed", 0) + counts.get("mixed", 0) > 0
+        assert report.violation_count == 0

@@ -73,3 +73,47 @@ class TestMessageCounts:
     def test_zero_exchanges_rejected(self):
         with pytest.raises(ModelError):
             mistrust_overhead(0)
+
+
+class TestDirectUnderFaults:
+    def _plan(self, seed=0, drop=0.5, silent=False):
+        from repro.sim.faults import FaultPlan, LinkFault, PartyFault
+
+        parties = (PartyFault("seller", 0.0),) if silent else ()
+        return FaultPlan(seed=seed, links=(LinkFault(drop=drop),), parties=parties)
+
+    def test_lossless_plan_completes(self):
+        from repro.baselines.direct import direct_exchange_under_faults
+
+        outcome = direct_exchange_under_faults(self._plan(drop=0.0))
+        assert outcome.completed and outcome.all_ok
+
+    def test_total_loss_harms_the_buyer(self):
+        from repro.baselines.direct import direct_exchange_under_faults
+
+        outcome = direct_exchange_under_faults(self._plan(drop=1.0))
+        assert outcome.buyer_paid and not outcome.buyer_has_good
+        assert not outcome.buyer_ok
+
+    def test_silent_seller_keeps_money(self):
+        from repro.baselines.direct import direct_exchange_under_faults
+
+        outcome = direct_exchange_under_faults(self._plan(drop=0.0, silent=True))
+        assert outcome.seller_has_money and not outcome.buyer_has_good
+        assert not outcome.buyer_ok
+
+    def test_deterministic_per_seed(self):
+        from repro.baselines.direct import direct_exchange_under_faults
+
+        plan = self._plan(seed=12, drop=0.5)
+        assert direct_exchange_under_faults(plan) == direct_exchange_under_faults(plan)
+
+    def test_lossy_wire_harms_someone_eventually(self):
+        from repro.baselines.direct import direct_exchange_under_faults
+
+        outcomes = [
+            direct_exchange_under_faults(self._plan(seed=s, drop=0.3))
+            for s in range(40)
+        ]
+        assert any(not o.all_ok for o in outcomes)
+        assert any(o.completed for o in outcomes)

@@ -31,7 +31,7 @@ class TestNetwork:
     def test_delivery_after_latency(self):
         queue, network = _network(latency=3.0)
         received = []
-        network.register(T, received.append)
+        network.register(T, lambda a, key: received.append(a))
         network.send(pay(C, T, M))
         _drain(queue)
         assert received == [pay(C, T, M)]
@@ -49,15 +49,15 @@ class TestNetwork:
 
     def test_double_registration_rejected(self):
         _, network = _network()
-        network.register(T, lambda a: None)
+        network.register(T, lambda a, key: None)
         with pytest.raises(SimulationError, match="already registered"):
-            network.register(T, lambda a: None)
+            network.register(T, lambda a, key: None)
 
     def test_inverted_transfer_routes_to_original_sender(self):
         queue, network = _network()
         received = []
-        network.register(C, received.append)
-        network.register(T, lambda a: None)
+        network.register(C, lambda a, key: received.append(a))
+        network.register(T, lambda a, key: None)
         refund = pay(C, T, M).inverse()  # t returns money to c
         network.send(refund)
         _drain(queue)
@@ -65,8 +65,8 @@ class TestNetwork:
 
     def test_stats_counters(self):
         queue, network = _network()
-        network.register(T, lambda a: None)
-        network.register(C, lambda a: None)
+        network.register(T, lambda a, key: None)
+        network.register(C, lambda a, key: None)
         network.send(pay(C, T, M))
         network.send(notify(T, C))
         _drain(queue)
@@ -79,7 +79,7 @@ class TestNetwork:
 
     def test_delivery_log_records_times(self):
         queue, network = _network(latency=2.0)
-        network.register(T, lambda a: None)
+        network.register(T, lambda a, key: None)
         network.send(pay(C, T, M))
         _drain(queue)
         (delivery,) = network.log

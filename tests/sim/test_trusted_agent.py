@@ -30,6 +30,9 @@ class StubRuntime:
     def transmit(self, action):
         self.out.append(action)
 
+    def schedule_for(self, party, delay, callback, label=""):
+        return self.queue.schedule(delay, callback, label)
+
     def fire_all(self):
         while (event := self.queue.pop()) is not None:
             event.callback()
@@ -152,6 +155,116 @@ class TestTimeout:
         agent.receive(pay(C, T, M))
         notice = runtime.out[0]
         assert notice.deadline == 5.0  # queue starts at t=0
+
+
+class TestPartialDeposits:
+    """Deadline-expiry reversal and settlement with three depositors.
+
+    The two-party cases above never exercise the reversal loop over
+    *several* held deposits, nor forfeit settlement when the beneficiary is
+    one of many performers — exactly the partial-deposit interleavings the
+    chaos harness generates."""
+
+    B = consumer("b")
+    D2 = document("d2")
+
+    def _spec3(self, deadline=5.0, indemnities=()):
+        return TrustedExchangeSpec(
+            agent=T,
+            deposits=((C, M), (self.B, money(20)), (P, D)),
+            entitlements=((C, D), (P, M), (P, money(20))),
+            deadline=deadline,
+            indemnities=indemnities,
+        )
+
+    def _agent3(self, deadline=5.0, indemnities=()):
+        runtime = StubRuntime()
+        agent = TrustedAgent(self._spec3(deadline, indemnities), runtime)
+        return agent, runtime
+
+    def test_timeout_reverses_every_held_deposit(self):
+        agent, runtime = self._agent3()
+        first = pay(C, T, M)
+        second = pay(self.B, T, money(20))
+        agent.receive(first)
+        agent.receive(second)  # P never ships: two of three deposits held
+        runtime.fire_all()
+        assert agent.reversed and not agent.completed
+        assert first.inverse() in runtime.out
+        assert second.inverse() in runtime.out
+        assert agent.received == {}
+
+    def test_partial_deposit_does_not_notify_until_one_outstanding(self):
+        agent, runtime = self._agent3()
+        agent.receive(pay(C, T, M))
+        notifies = [a for a in runtime.out if a.kind is ActionKind.NOTIFY]
+        assert notifies == []  # two still pending: nobody is "last"
+        agent.receive(pay(self.B, T, money(20)))
+        notifies = [a for a in runtime.out if a.kind is ActionKind.NOTIFY]
+        assert len(notifies) == 1 and notifies[0].recipient == P
+
+    def test_forfeit_under_partial_deposits(self):
+        from repro.core.indemnity import IndemnityOffer
+        from repro.core.interaction import InteractionEdge
+
+        offer = IndemnityOffer(
+            offeror=P,
+            beneficiary=C,
+            via=T,
+            covers=InteractionEdge(C, T, M),
+            amount_cents=500,
+        )
+        agent, runtime = self._agent3(indemnities=(offer,))
+        escrow = pay(P, T, cents(500, tag="indemnity-x"))
+        agent.receive(escrow)
+        agent.receive(pay(C, T, M))            # beneficiary performs
+        agent.receive(pay(self.B, T, money(20)))  # bystander performs too
+        runtime.fire_all()                     # offeror P never ships
+        forfeits = [
+            a for a in runtime.out
+            if a.is_transfer and not a.inverted and a.recipient == C
+            and "indemnity" in a.item.label
+        ]
+        assert len(forfeits) == 1
+        # The bystander's deposit is reversed, not forfeited to anyone.
+        assert pay(self.B, T, money(20)).inverse() in runtime.out
+
+    def test_refund_when_beneficiary_among_absentees(self):
+        from repro.core.indemnity import IndemnityOffer
+        from repro.core.interaction import InteractionEdge
+
+        offer = IndemnityOffer(
+            offeror=P,
+            beneficiary=C,
+            via=T,
+            covers=InteractionEdge(C, T, M),
+            amount_cents=500,
+        )
+        agent, runtime = self._agent3(indemnities=(offer,))
+        escrow = pay(P, T, cents(500, tag="indemnity-x"))
+        agent.receive(escrow)
+        agent.receive(pay(self.B, T, money(20)))  # only the bystander performs
+        runtime.fire_all()
+        assert escrow.inverse() in runtime.out  # refunded, not forfeited
+
+
+class TestDuplicateSuppression:
+    def test_same_envelope_key_suppressed_not_bounced(self):
+        agent, runtime = _agent()
+        deposit = pay(C, T, M)
+        agent.receive(deposit, key=7)
+        agent.receive(deposit, key=7)  # transport re-delivered the same copy
+        assert agent.rejected == []
+        bounces = [a for a in runtime.out if a.inverted]
+        assert bounces == []
+
+    def test_distinct_keys_still_bounce_true_overdeposit(self):
+        agent, runtime = _agent()
+        deposit = pay(C, T, M)
+        agent.receive(deposit, key=7)
+        agent.receive(deposit, key=8)  # a genuinely new send: over-deposit
+        assert agent.rejected == [deposit]
+        assert runtime.out[-1] == deposit.inverse()
 
 
 class TestIndemnities:

@@ -125,6 +125,38 @@ class TestCost:
         assert "2.0x" in capsys.readouterr().out
 
 
+class TestChaos:
+    def test_smoke_sweep_exits_zero(self, capsys):
+        assert main(["chaos", "-n", "25", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "safety violations:    0" in out
+        assert "detector armed" in out
+
+    def test_report_written(self, tmp_path, capsys):
+        import json
+
+        report_path = str(tmp_path / "chaos.json")
+        assert main(
+            ["chaos", "-n", "25", "--seed", "0", "--report", report_path]
+        ) == 0
+        data = json.loads(open(report_path, encoding="utf-8").read())
+        assert data["violation_count"] == 0
+        assert data["baseline_violations"] >= 1
+        assert len(data["verdicts"]) == 25
+
+    def test_jobs_flag_matches_serial(self, tmp_path):
+        import json
+
+        serial_path = str(tmp_path / "serial.json")
+        pooled_path = str(tmp_path / "pooled.json")
+        main(["chaos", "-n", "16", "--seed", "5", "--report", serial_path])
+        main(["chaos", "-n", "16", "--seed", "5", "--jobs", "2",
+              "--report", pooled_path])
+        serial = json.loads(open(serial_path, encoding="utf-8").read())
+        pooled = json.loads(open(pooled_path, encoding="utf-8").read())
+        assert serial["verdicts"] == pooled["verdicts"]
+
+
 class TestExamples:
     def test_lists_all(self, capsys):
         assert main(["examples"]) == 0
