@@ -14,6 +14,8 @@ Subcommands cover the full pipeline on a spec file or a built-in example:
 * ``petri``      — the §7.4 translation and its coverability verdict;
 * ``sweep``      — random-topology studies (priority / trust / gap);
 * ``chaos``      — seeded fault-injection sweep of the safety guarantee;
+* ``fuzz``       — differential + metamorphic conformance fuzzing of the
+  whole oracle stack (reduction / reference / Petri / simulator / spec);
 * ``examples``   — list the built-in fixtures.
 
 Examples::
@@ -291,6 +293,33 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.violation_count == 0 and report.differential_ok else 1
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.conformance.engine import (
+        FuzzConfig,
+        run_fuzz,
+        shrink_counterexamples,
+    )
+
+    config = FuzzConfig(
+        cases=args.cases, seed=args.seed, simulate=not args.no_sim
+    )
+    jobs = args.jobs if args.jobs > 0 else None  # 0 = all cores
+    report = run_fuzz(config, processes=jobs)
+    for line in report.describe():
+        print(line)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+        print(f"wrote {args.report}")
+    if report.discrepant:
+        for path in shrink_counterexamples(report, args.corpus):
+            print(f"wrote counterexample {path}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_examples(_args: argparse.Namespace) -> int:
     for name, factory in EXAMPLES.items():
         problem = factory()
@@ -398,6 +427,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--report", metavar="PATH", help="write the full JSON report here")
     p.set_defaults(handler=_cmd_chaos)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential + metamorphic conformance fuzzing of the "
+        "feasibility/execution stack",
+    )
+    p.add_argument("--cases", "-n", type=int, default=200)
+    p.add_argument("--seed", type=int, default=0, help="master seed for the run")
+    p.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="fan cases over N worker processes (0 = all cores)",
+    )
+    p.add_argument(
+        "--no-sim",
+        action="store_true",
+        help="skip the §5 simulator replay oracle (reduction/Petri/spec only)",
+    )
+    p.add_argument(
+        "--corpus",
+        metavar="DIR",
+        default="fuzz_corpus",
+        help="where shrunk counterexamples are written (on failure only)",
+    )
+    p.add_argument("--report", metavar="PATH", help="write the JSON report here")
+    p.set_defaults(handler=_cmd_fuzz)
 
     p = sub.add_parser("examples", help="list built-in examples")
     p.set_defaults(handler=_cmd_examples)

@@ -1,0 +1,96 @@
+"""Replayable counterexample corpus files.
+
+A counterexample is serialized as JSON carrying the problem *as spec-language
+text* (the one serialization every layer can reconstruct from), the fuzz
+seed and case index that produced it, the per-oracle verdicts observed, and
+the discrepancy kinds.  ``tests/corpus/`` keeps shrunk (or hand-crafted)
+cases as regression fixtures; ``repro fuzz`` writes fresh ones into its
+``--corpus`` directory whenever a run disagrees.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from repro.core.problem import ExchangeProblem
+from repro.errors import ReproError
+from repro.spec.compiler import load
+from repro.spec.formatter import format_problem
+
+CORPUS_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class CorpusCase:
+    """One deserialized corpus entry."""
+
+    problem: ExchangeProblem
+    spec_text: str
+    seed: int = 0
+    case_index: int | None = None
+    kinds: tuple[str, ...] = ()
+    details: tuple[str, ...] = ()
+    verdicts: dict = field(default_factory=dict)
+    expected_feasible: bool | None = None
+    note: str = ""
+
+
+def write_corpus_file(
+    path: str,
+    problem: ExchangeProblem,
+    *,
+    seed: int = 0,
+    case_index: int | None = None,
+    kinds: tuple[str, ...] = (),
+    details: tuple[str, ...] = (),
+    verdicts: dict | None = None,
+    expected_feasible: bool | None = None,
+    note: str = "",
+) -> str:
+    """Serialize one counterexample (or fixture) to *path*; returns *path*."""
+    payload = {
+        "format": CORPUS_FORMAT,
+        "name": problem.name,
+        "spec": format_problem(problem),
+        "seed": seed,
+        "case_index": case_index,
+        "kinds": list(kinds),
+        "details": list(details),
+        "verdicts": verdicts or {},
+        "expected_feasible": expected_feasible,
+        "note": note,
+    }
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_corpus_file(path: str) -> CorpusCase:
+    """Deserialize and recompile one corpus entry."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot read corpus file {path!r}: {exc}") from exc
+    if payload.get("format") != CORPUS_FORMAT:
+        raise ReproError(
+            f"corpus file {path!r} has format {payload.get('format')!r}; "
+            f"this reader understands {CORPUS_FORMAT}"
+        )
+    spec_text = payload["spec"]
+    problem = load(spec_text)
+    return CorpusCase(
+        problem=problem,
+        spec_text=spec_text,
+        seed=int(payload.get("seed", 0)),
+        case_index=payload.get("case_index"),
+        kinds=tuple(payload.get("kinds", ())),
+        details=tuple(payload.get("details", ())),
+        verdicts=dict(payload.get("verdicts", {})),
+        expected_feasible=payload.get("expected_feasible"),
+        note=payload.get("note", ""),
+    )

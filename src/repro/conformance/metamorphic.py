@@ -1,0 +1,200 @@
+"""Metamorphic relations over exchange problems.
+
+Each relation takes a problem whose verdict is known and asserts what a
+*transformed* variant must (or must not) do:
+
+* **relabel invariance** — a bijective renaming of parties and document
+  labels changes nothing observable about the reduction;
+* **permutation invariance** — exchange/member insertion order only changes
+  tie-breaking; by §4.2 confluence the verdict and residual-edge count are
+  invariant;
+* **trust monotonicity** — direct-trust edges only waive blockers (§4.2.3):
+  growing the trust relation can never flip feasible → infeasible;
+* **indemnity monotonicity** — indemnities only split conjunctions (§6):
+  once a prefix of the greedy plan is feasible, every longer prefix is too,
+  and a feasible plan's Petri net must be coverable;
+* **persona toggling** — the persona clause only *adds* legal reduction
+  steps: feasible with the clause ablated implies feasible with it on, and
+  with no direct trust the toggle is a strict no-op.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.conformance.oracles import Discrepancy, oversold_documents, trace_key
+from repro.conformance.transforms import (
+    ConformanceError,
+    permute_exchanges,
+    relabel_problem,
+)
+from repro.core.indemnity import (
+    greedy_order,
+    plan_indemnities,
+    splittable_conjunctions,
+)
+from repro.errors import IndemnityError
+from repro.core.problem import ExchangeProblem
+from repro.petri.translate import exchange_completable
+
+
+def check_relabel_invariance(problem: ExchangeProblem) -> list[Discrepancy]:
+    """Renaming parties/documents must not move any reduction observable."""
+    base = problem.feasibility()
+    variant = relabel_problem(problem).feasibility()
+    if (
+        variant.feasible != base.feasible
+        or len(variant.trace.steps) != len(base.trace.steps)
+        or len(variant.trace.remaining) != len(base.trace.remaining)
+    ):
+        return [
+            Discrepancy(
+                "relabel-variance",
+                f"relabeled variant gave feasible={variant.feasible} "
+                f"steps={len(variant.trace.steps)} "
+                f"remaining={len(variant.trace.remaining)}; original gave "
+                f"feasible={base.feasible} steps={len(base.trace.steps)} "
+                f"remaining={len(base.trace.remaining)}",
+            )
+        ]
+    return []
+
+
+def check_permutation_invariance(
+    problem: ExchangeProblem, rng: random.Random
+) -> list[Discrepancy]:
+    """Exchange insertion order must not change the verdict (§4.2)."""
+    base = problem.feasibility()
+    variant = permute_exchanges(problem, rng).feasibility()
+    if (
+        variant.feasible != base.feasible
+        or len(variant.trace.remaining) != len(base.trace.remaining)
+    ):
+        return [
+            Discrepancy(
+                "permutation-variance",
+                f"permuted variant gave feasible={variant.feasible} "
+                f"remaining={len(variant.trace.remaining)}; original gave "
+                f"feasible={base.feasible} "
+                f"remaining={len(base.trace.remaining)}",
+            )
+        ]
+    return []
+
+
+def check_trust_monotonicity(
+    problem: ExchangeProblem, rng: random.Random, additions: int = 3
+) -> list[Discrepancy]:
+    """Cumulatively adding trust edges: feasibility never regresses."""
+    principals = list(problem.interaction.principals)
+    if len(principals) < 2:
+        return []
+    current = problem.copy()
+    feasible = current.feasibility().feasible
+    for step in range(additions):
+        truster, trustee = rng.sample(principals, 2)
+        if current.trust.trusts(truster, trustee):
+            continue
+        current.trust.add(truster, trustee)
+        now_feasible = current.feasibility().feasible
+        if feasible and not now_feasible:
+            return [
+                Discrepancy(
+                    "trust-regression",
+                    f"adding trust {truster.name}->{trustee.name} (step "
+                    f"{step + 1}) flipped a feasible problem infeasible",
+                )
+            ]
+        feasible = now_feasible
+    return []
+
+
+def check_indemnity_monotonicity(problem: ExchangeProblem) -> list[Discrepancy]:
+    """Greedy-plan prefixes: once feasible, always feasible; and a feasible
+    plan's Petri net must be coverable (the §6 ↔ §7.4 bridge)."""
+    discrepancies: list[Discrepancy] = []
+    agents = splittable_conjunctions(problem)
+    if not agents:
+        return []
+    agent = agents[0]
+    order = greedy_order(problem, agent)
+    was_feasible = problem.feasibility().feasible
+    last_plan = None
+    for k in range(1, len(order) + 1):
+        plan = plan_indemnities(
+            problem, order[:k], agent=agent, stop_when_feasible=False
+        )
+        if was_feasible and not plan.feasible:
+            discrepancies.append(
+                Discrepancy(
+                    "indemnity-regression",
+                    f"splitting {k} commitment(s) of {agent.name}'s bundle "
+                    "flipped a feasible problem infeasible",
+                )
+            )
+            break
+        was_feasible = was_feasible or plan.feasible
+        last_plan = plan
+    if (
+        last_plan is not None
+        and last_plan.feasible
+        and not oversold_documents(problem)
+    ):
+        petri = exchange_completable(problem, last_plan)
+        if not petri.coverable:
+            discrepancies.append(
+                Discrepancy(
+                    "indemnity-petri",
+                    f"plan over {agent.name}'s bundle is reduction-feasible "
+                    "but its Petri completion marking is not coverable",
+                )
+            )
+    return discrepancies
+
+
+def check_persona_toggle(problem: ExchangeProblem) -> list[Discrepancy]:
+    """Ablating the §4.2.3 clause only removes legal steps."""
+    on = problem.feasibility(enable_persona_clause=True)
+    off = problem.feasibility(enable_persona_clause=False)
+    if off.feasible and not on.feasible:
+        return [
+            Discrepancy(
+                "persona-regression",
+                "feasible with the persona clause ablated but infeasible "
+                "with it enabled — the clause removed a legal reduction",
+            )
+        ]
+    if len(problem.trust) == 0 and trace_key(on.trace) != trace_key(off.trace):
+        return [
+            Discrepancy(
+                "persona-noop",
+                "no direct trust exists yet toggling the persona clause "
+                "changed the reduction trace",
+            )
+        ]
+    return []
+
+
+def metamorphic_suite(
+    problem: ExchangeProblem, seed: int = 0
+) -> list[Discrepancy]:
+    """Run every metamorphic relation; returns all broken ones.
+
+    Multi-party problems (which the rebuilders cannot express) skip the
+    structural transforms but still run the trust/indemnity/persona
+    relations, which need no re-assembly.
+    """
+    rng = random.Random(seed)
+    discrepancies: list[Discrepancy] = []
+    try:
+        discrepancies.extend(check_relabel_invariance(problem))
+        discrepancies.extend(check_permutation_invariance(problem, rng))
+    except ConformanceError:
+        pass
+    discrepancies.extend(check_trust_monotonicity(problem, rng))
+    try:
+        discrepancies.extend(check_indemnity_monotonicity(problem))
+    except IndemnityError:
+        pass  # non-pairwise bundles (§9 extension) have no offeror rule yet
+    discrepancies.extend(check_persona_toggle(problem))
+    return discrepancies

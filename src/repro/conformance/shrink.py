@@ -1,0 +1,98 @@
+"""Greedy counterexample shrinking (QuickCheck-style delta debugging).
+
+Given a problem on which some conformance check fails and a predicate that
+re-runs that check, repeatedly try the cheapest structural simplifications —
+drop a whole exchange, unmark a priority edge, drop a trust edge — keeping
+any variant on which the failure persists.  The result is a local minimum:
+no single simplification preserves the failure, which in practice reduces a
+multi-exchange discrepancy to the two- or three-party core that triggers it.
+
+The predicate sees fully validated problems only; candidates that fail
+structural validation (e.g. dropping a principal's last exchange) are
+skipped, not counted as successes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.conformance.transforms import (
+    ConformanceError,
+    ExchangeRecord,
+    assemble,
+    exchange_records,
+)
+from repro.core.problem import ExchangeProblem
+from repro.errors import ReproError
+
+
+def _candidates(problem: ExchangeProblem) -> list[ExchangeProblem]:
+    """Single-step simplifications of *problem*, cheapest-win order.
+
+    Variants that fail structural validation are silently dropped.
+    """
+    records = exchange_records(problem)
+    trust_pairs = tuple(problem.trust)
+    variants: list[ExchangeProblem] = []
+
+    def offer(records_, trust_) -> None:
+        try:
+            variants.append(assemble(problem.name, records_, trust_))
+        except ReproError:
+            pass
+
+    if len(records) > 1:
+        for skip in range(len(records)):
+            offer([r for i, r in enumerate(records) if i != skip], trust_pairs)
+    for i, record in enumerate(records):
+        if not record.priority:
+            continue
+        without = ExchangeRecord(
+            trusted=record.trusted,
+            members=record.members,
+            priority=(),
+            deadline=record.deadline,
+        )
+        offer(records[:i] + [without] + records[i + 1 :], trust_pairs)
+    for skip in range(len(trust_pairs)):
+        kept_trust = tuple(p for i, p in enumerate(trust_pairs) if i != skip)
+        offer(records, kept_trust)
+    return variants
+
+
+def shrink_problem(
+    problem: ExchangeProblem,
+    still_failing: Callable[[ExchangeProblem], bool],
+    max_rounds: int = 200,
+) -> ExchangeProblem:
+    """Shrink *problem* while ``still_failing`` holds; returns the minimum.
+
+    ``still_failing`` must return True on *problem* itself for the result to
+    be meaningful (the shrinker does not re-check the starting point).  Any
+    :class:`~repro.errors.ReproError` raised while generating or checking a
+    candidate disqualifies that candidate only.
+    """
+    current = problem
+    for _ in range(max_rounds):
+        for candidate in _shrink_step(current, still_failing):
+            current = candidate
+            break
+        else:
+            return current
+    return current
+
+
+def _shrink_step(
+    problem: ExchangeProblem,
+    still_failing: Callable[[ExchangeProblem], bool],
+) -> Iterator[ExchangeProblem]:
+    try:
+        candidates = _candidates(problem)
+    except ConformanceError:
+        return  # multi-party problems cannot be re-assembled
+    for candidate in candidates:
+        try:
+            if still_failing(candidate):
+                yield candidate
+        except ReproError:
+            continue

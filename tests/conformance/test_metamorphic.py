@@ -1,0 +1,64 @@
+"""Metamorphic relations hold on every worked example."""
+
+import random
+
+import pytest
+
+from repro.conformance.metamorphic import (
+    check_indemnity_monotonicity,
+    check_permutation_invariance,
+    check_persona_toggle,
+    check_relabel_invariance,
+    check_trust_monotonicity,
+    metamorphic_suite,
+)
+from repro.workloads import (
+    example1,
+    example2,
+    example2_broker_trusts_source,
+    example2_source_trusts_broker,
+    figure7,
+    poor_broker,
+    simple_purchase,
+)
+from repro.workloads.chains import resale_chain, star
+
+ALL_EXAMPLES = [
+    example1,
+    example2,
+    example2_source_trusts_broker,
+    example2_broker_trusts_source,
+    figure7,
+    poor_broker,
+    simple_purchase,
+    lambda: resale_chain(3),
+    lambda: star(3),
+]
+
+
+@pytest.mark.parametrize("build", ALL_EXAMPLES)
+def test_suite_holds_on_worked_examples(build):
+    assert metamorphic_suite(build(), seed=11) == []
+
+
+def test_relabel_invariance(ex1, ex2, fig7):
+    for problem in (ex1, ex2, fig7):
+        assert check_relabel_invariance(problem) == []
+
+
+def test_permutation_invariance(ex1, ex2):
+    for problem in (ex1, ex2):
+        assert check_permutation_invariance(problem, random.Random(2)) == []
+
+
+def test_trust_monotonicity(ex2):
+    assert check_trust_monotonicity(ex2, random.Random(4), additions=5) == []
+
+
+def test_indemnity_monotonicity(fig7):
+    assert check_indemnity_monotonicity(fig7) == []
+
+
+def test_persona_toggle(ex2_variant1, ex2_variant2):
+    assert check_persona_toggle(ex2_variant1) == []
+    assert check_persona_toggle(ex2_variant2) == []

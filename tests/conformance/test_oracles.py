@@ -1,0 +1,65 @@
+"""The differential oracle stack on the paper's worked examples."""
+
+from repro.conformance.oracles import cross_check, oversold_documents, trace_key
+from repro.workloads.chains import oversale, resale_chain
+
+
+class TestCrossCheck:
+    def test_example1_agrees_everywhere(self, ex1):
+        result = cross_check(ex1)
+        assert result.ok
+        assert result.verdicts.reduction_feasible
+        assert result.verdicts.reference_feasible
+        assert result.verdicts.petri_coverable
+        assert result.verdicts.simulated
+        assert result.verdicts.simulation_safe
+
+    def test_example2_agrees_on_infeasibility(self, ex2):
+        result = cross_check(ex2)
+        assert result.ok
+        assert not result.verdicts.reduction_feasible
+        assert not result.verdicts.simulated
+
+    def test_persona_variant(self, ex2_variant1):
+        result = cross_check(ex2_variant1)
+        assert result.ok
+        assert result.verdicts.reduction_feasible
+
+    def test_poor_broker_infeasible(self, poor):
+        result = cross_check(poor)
+        assert result.ok
+        assert not result.verdicts.reduction_feasible
+
+    def test_simulation_can_be_skipped(self, ex1):
+        result = cross_check(ex1, run_simulation=False)
+        assert result.ok
+        assert not result.verdicts.simulated
+        assert result.verdicts.simulation_safe is None
+
+
+class TestOversale:
+    def test_oversold_documents_detects_aliasing(self):
+        assert oversold_documents(oversale(2)) == ("d",)
+
+    def test_resale_is_not_oversale(self):
+        assert oversold_documents(resale_chain(3)) == ()
+
+    def test_oversale_is_documented_not_flagged(self):
+        """The possession-blind verdict (chains.oversale docstring): reduction
+        says feasible, Petri and the scheduler say no — by design."""
+        result = cross_check(oversale(2))
+        assert result.ok
+        assert result.verdicts.oversold
+        assert result.verdicts.reduction_feasible
+        assert not result.verdicts.petri_coverable
+        assert not result.verdicts.simulated
+
+
+class TestTraceKey:
+    def test_trace_key_is_deterministic(self, ex1):
+        a = trace_key(ex1.reduce())
+        b = trace_key(ex1.reduce())
+        assert a == b
+
+    def test_trace_key_distinguishes_problems(self, ex1, poor):
+        assert trace_key(ex1.reduce()) != trace_key(poor.reduce())

@@ -1,0 +1,62 @@
+"""The conformance engine must catch a deliberately planted bug.
+
+A test harness that has never failed proves nothing.  Here we break the
+reference engine's red-edge rule (pretend no red edge ever blocks — i.e.
+ablate §4.2's pre-emption check), run a small fuzz sweep, and require that
+(a) the differential oracle flags the divergence and (b) the shrinker
+reduces a flagged case to the minimal pre-emption core.
+
+Everything runs with ``processes=1``: a monkeypatch does not cross the
+process-pool boundary.
+"""
+
+import pytest
+
+from repro.conformance.engine import (
+    FuzzConfig,
+    _still_failing,
+    run_fuzz,
+)
+from repro.conformance.shrink import shrink_problem
+from repro.core import reduction_reference
+from repro.spec.compiler import load
+
+
+@pytest.fixture
+def broken_reference(monkeypatch):
+    """Ablate red-edge pre-emption in the reference engine only."""
+    monkeypatch.setattr(
+        reduction_reference.ReferenceReductionEngine,
+        "blocking_red_edges",
+        lambda self, edge: (),
+    )
+
+
+def test_planted_bug_is_detected_and_shrinks(broken_reference):
+    report = run_fuzz(
+        FuzzConfig(cases=20, seed=7, simulate=False), processes=1
+    )
+    flagged = [
+        r
+        for r in report.discrepant
+        if any(d.kind == "engine-divergence" for d in r.discrepancies)
+    ]
+    assert flagged, "a broken red-edge rule must produce engine divergences"
+
+    case = flagged[0]
+    problem = load(case.spec_text)
+    minimal = shrink_problem(
+        problem, _still_failing(case.seed, frozenset({"engine-divergence"}))
+    )
+    # The minimal divergence between "red edges block" and "they don't" is a
+    # two-exchange chain with a single red mark and no trust to waive it.
+    assert len(minimal.interaction.trusted_components) <= 2
+    assert len(minimal.interaction.priority_edges) >= 1
+    assert len(minimal.trust) == 0
+
+
+def test_clean_engine_reports_nothing_on_same_seed():
+    report = run_fuzz(
+        FuzzConfig(cases=20, seed=7, simulate=False), processes=1
+    )
+    assert report.discrepant == ()

@@ -1,0 +1,66 @@
+"""Greedy shrinking: smaller problem, same failure."""
+
+from repro.conformance.shrink import shrink_problem
+from repro.conformance.transforms import assemble, exchange_records
+from repro.errors import ReproError
+from repro.workloads import poor_broker, simple_purchase
+
+
+def infeasible(problem) -> bool:
+    return not problem.feasibility().feasible
+
+
+def padded_poor_broker():
+    """The poor-broker core plus an unrelated (feasible) side sale and an
+    irrelevant trust edge — everything the shrinker should strip away."""
+    padding = simple_purchase()
+    records = exchange_records(poor_broker()) + exchange_records(padding)
+    parties = list(padding.interaction.principals)
+    return assemble("padded-poor-broker", records, ((parties[0], parties[1]),))
+
+
+class TestShrink:
+    def test_strips_padding_down_to_the_infeasible_core(self):
+        problem = padded_poor_broker()
+        assert infeasible(problem)
+        minimal = shrink_problem(problem, infeasible)
+        assert infeasible(minimal)
+        # The side sale and the trust edge are gone; the double-red
+        # conjunction remains.
+        assert len(minimal.interaction.trusted_components) == 2
+        assert len(minimal.trust) == 0
+
+    def test_result_is_a_local_minimum(self, poor):
+        minimal = shrink_problem(poor, infeasible)
+        assert infeasible(minimal)
+        # poor-broker's core is the two-exchange double-red conjunction:
+        # dropping either exchange (or any red mark) makes it feasible.
+        assert len(minimal.interaction.trusted_components) == 2
+        assert len(minimal.interaction.priority_edges) == 2
+
+    def test_predicate_never_sees_invalid_problems(self, ex2):
+        seen = []
+
+        def recording(problem) -> bool:
+            seen.append(problem)
+            problem.validate()
+            return infeasible(problem)
+
+        shrink_problem(ex2, recording)
+        assert seen  # the shrinker did explore candidates
+
+    def test_raising_predicate_disqualifies_candidate_only(self, ex2):
+        calls = {"n": 0}
+
+        def flaky(problem) -> bool:
+            calls["n"] += 1
+            if calls["n"] % 2 == 0:
+                raise ReproError("synthetic oracle failure")
+            return infeasible(problem)
+
+        minimal = shrink_problem(ex2, flaky)
+        assert infeasible(minimal)
+
+    def test_feasible_fixed_point_returns_input(self, ex1):
+        # Predicate fails everywhere → nothing to keep → input unchanged.
+        assert shrink_problem(ex1, lambda p: False) is ex1

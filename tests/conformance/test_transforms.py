@@ -1,0 +1,102 @@
+"""Unit tests for the problem rebuilders (decompose → transform → assemble)."""
+
+import random
+
+import pytest
+
+from repro.conformance.transforms import (
+    ConformanceError,
+    assemble,
+    exchange_records,
+    permute_exchanges,
+    problems_equivalent,
+    relabel_problem,
+)
+from repro.core.interaction import InteractionGraph
+from repro.core.items import document
+from repro.core.parties import broker, trusted
+from repro.core.problem import ExchangeProblem
+
+
+class TestExchangeRecords:
+    def test_example1_decomposes_to_two_records(self, ex1):
+        records = exchange_records(ex1)
+        assert len(records) == 2
+        assert all(len(r.members) == 2 for r in records)
+
+    def test_priority_markings_captured(self, ex1):
+        records = exchange_records(ex1)
+        assert sum(len(r.priority) for r in records) == len(
+            ex1.interaction.priority_edges
+        )
+
+    def test_multiparty_raises(self):
+        graph = InteractionGraph()
+        parties = [broker(f"A{i}") for i in range(3)]
+        for p in parties:
+            graph.add_principal(p)
+        hub = graph.add_trusted(trusted("Hub"))
+        graph.add_multi_exchange(
+            hub, [(p, document(f"s{i}")) for i, p in enumerate(parties)]
+        )
+        problem = ExchangeProblem("ring", graph).validate(allow_multiparty=True)
+        with pytest.raises(ConformanceError):
+            exchange_records(problem)
+
+
+class TestAssemble:
+    def test_roundtrip_is_equivalent(self, ex1):
+        rebuilt = assemble(
+            ex1.name, exchange_records(ex1), tuple(ex1.trust)
+        )
+        assert problems_equivalent(ex1, rebuilt)
+
+    def test_roundtrip_preserves_feasibility(self, ex2_variant1):
+        rebuilt = assemble(
+            ex2_variant1.name,
+            exchange_records(ex2_variant1),
+            tuple(ex2_variant1.trust),
+        )
+        assert rebuilt.feasibility().feasible == ex2_variant1.feasibility().feasible
+
+    def test_orphan_trust_pairs_dropped(self, ex1, parties):
+        ghost = (parties["c"], parties["b"])  # neither appears in ex1
+        rebuilt = assemble(ex1.name, exchange_records(ex1), (ghost,))
+        assert len(rebuilt.trust) == 0
+
+
+class TestRelabel:
+    def test_relabel_renames_every_party(self, ex1):
+        variant = relabel_problem(ex1)
+        assert all(
+            p.name.startswith("RL") for p in variant.interaction.parties
+        )
+
+    def test_relabel_preserves_verdict(self, ex1, ex2, poor):
+        for problem in (ex1, ex2, poor):
+            assert (
+                relabel_problem(problem).feasibility().feasible
+                == problem.feasibility().feasible
+            )
+
+    def test_relabel_is_not_equivalent_to_original(self, ex1):
+        assert not problems_equivalent(ex1, relabel_problem(ex1))
+
+
+class TestPermute:
+    def test_permutation_is_structurally_equivalent(self, ex1):
+        variant = permute_exchanges(ex1, random.Random(3))
+        assert problems_equivalent(ex1, variant)
+
+    def test_permutation_preserves_verdict(self, ex2, fig7):
+        for problem in (ex2, fig7):
+            variant = permute_exchanges(problem, random.Random(5))
+            assert variant.feasibility().feasible == problem.feasibility().feasible
+
+
+class TestEquivalence:
+    def test_reflexive(self, ex1):
+        assert problems_equivalent(ex1, ex1)
+
+    def test_distinguishes_different_problems(self, ex1, ex2):
+        assert not problems_equivalent(ex1, ex2)

@@ -1,0 +1,38 @@
+"""Every script under ``examples/`` must run to completion.
+
+The examples double as executable documentation; a refactor that strands one
+of them is a regression even when the library tests stay green.  Each script
+exposes ``main()``, so we import it by path and call it with stdout captured.
+"""
+
+import glob
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+SCRIPTS = sorted(glob.glob(os.path.join(EXAMPLES_DIR, "*.py")))
+
+
+def test_examples_exist():
+    assert len(SCRIPTS) >= 6
+
+
+@pytest.mark.parametrize(
+    "path", SCRIPTS, ids=[os.path.basename(p) for p in SCRIPTS]
+)
+def test_example_runs(path, capsys):
+    name = f"example_smoke_{os.path.basename(path)[:-3]}"
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    try:
+        spec.loader.exec_module(module)
+        assert hasattr(module, "main"), f"{path} has no main()"
+        module.main()
+    finally:
+        sys.modules.pop(name, None)
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path} printed nothing"
