@@ -115,7 +115,9 @@ class BatchVerdict:
     blockages: int
 
     @classmethod
-    def of(cls, problem: ExchangeProblem, strategy: str, enable_persona_clause: bool) -> "BatchVerdict":
+    def of(
+        cls, problem: ExchangeProblem, strategy: str, enable_persona_clause: bool
+    ) -> "BatchVerdict":
         verdict = problem.feasibility(
             strategy=strategy, enable_persona_clause=enable_persona_clause
         )

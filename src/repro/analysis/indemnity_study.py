@@ -78,7 +78,10 @@ class BundleScalingRow:
     @property
     def overshoot(self) -> float:
         """Worst ordering relative to the greedy optimum."""
-        return self.worst_cents / self.greedy_cents if self.greedy_cents else 1.0
+        # Dimensionless ratio of two cents amounts, not ledger arithmetic.
+        if not self.greedy_cents:
+            return 1.0
+        return self.worst_cents / self.greedy_cents  # repro: noqa[MONEY001]
 
 
 def _bundle_scaling_worker(spec: tuple[int, float]) -> BundleScalingRow:

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.core.actions import Action
-from repro.core.states import AcceptanceSpec, ExchangeState
+from repro.core.states import ExchangeState
 from repro.errors import ProtocolError
 
 

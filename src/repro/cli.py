@@ -16,6 +16,9 @@ Subcommands cover the full pipeline on a spec file or a built-in example:
 * ``chaos``      — seeded fault-injection sweep of the safety guarantee;
 * ``fuzz``       — differential + metamorphic conformance fuzzing of the
   whole oracle stack (reduction / reference / Petri / simulator / spec);
+* ``lint``       — determinism/safety static analysis: AST rule passes over
+  Python source plus the non-fatal warning tier over ``.exchange`` specs
+  (exit 0 clean, 1 findings, 2 usage error);
 * ``examples``   — list the built-in fixtures.
 
 Examples::
@@ -320,6 +323,28 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.staticcheck import (
+        error_count,
+        lint_paths,
+        render_human,
+        render_json,
+    )
+
+    select = (
+        tuple(code.strip().upper() for code in args.select.split(",") if code.strip())
+        if args.select
+        else None
+    )
+    findings = lint_paths(args.paths, select=select)
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        for line in render_human(findings, fix_suggestions=args.fix_suggestions):
+            print(line)
+    return 1 if error_count(findings) else 0
+
+
 def _cmd_examples(_args: argparse.Namespace) -> int:
     for name, factory in EXAMPLES.items():
         problem = factory()
@@ -455,6 +480,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--report", metavar="PATH", help="write the JSON report here")
     p.set_defaults(handler=_cmd_fuzz)
+
+    p = sub.add_parser(
+        "lint",
+        help="determinism/safety static analysis over Python source and "
+        ".exchange specs (0 clean / 1 findings / 2 usage error)",
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    p.add_argument("--format", choices=["human", "json"], default="human")
+    p.add_argument(
+        "--fix-suggestions",
+        action="store_true",
+        help="print a suggested fix under each finding",
+    )
+    p.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule codes to run (default: every rule)",
+    )
+    p.set_defaults(handler=_cmd_lint)
 
     p = sub.add_parser("examples", help="list built-in examples")
     p.set_defaults(handler=_cmd_examples)

@@ -32,7 +32,7 @@ class CorpusCase:
     case_index: int | None = None
     kinds: tuple[str, ...] = ()
     details: tuple[str, ...] = ()
-    verdicts: dict = field(default_factory=dict)
+    verdicts: dict[str, object] = field(default_factory=dict)
     expected_feasible: bool | None = None
     note: str = ""
 
@@ -45,7 +45,7 @@ def write_corpus_file(
     case_index: int | None = None,
     kinds: tuple[str, ...] = (),
     details: tuple[str, ...] = (),
-    verdicts: dict | None = None,
+    verdicts: dict[str, object] | None = None,
     expected_feasible: bool | None = None,
     note: str = "",
 ) -> str:

@@ -23,6 +23,7 @@ import json
 import os
 import random
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.analysis.batch import parallel_map
 from repro.conformance.corpus import load_corpus_file, write_corpus_file
@@ -83,7 +84,7 @@ class CaseResult:
     def ok(self) -> bool:
         return not self.discrepancies
 
-    def summary(self) -> dict:
+    def summary(self) -> dict[str, object]:
         return {
             "index": self.index,
             "verdicts": self.verdicts.to_dict(),
@@ -240,7 +241,7 @@ class FuzzReport:
         lines.append(f"  verdict digest: {self.digest()}")
         return lines
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         return {
             "cases": len(self.results),
             "seed": self.config.seed,
@@ -267,7 +268,9 @@ def run_fuzz(config: FuzzConfig, processes: int | None = None) -> FuzzReport:
     return FuzzReport(config=config, results=tuple(results))
 
 
-def _still_failing(seed: int, kinds: frozenset[str]):
+def _still_failing(
+    seed: int, kinds: frozenset[str]
+) -> Callable[[ExchangeProblem], bool]:
     """A shrink predicate: the same discrepancy kind(s) still present?
 
     Simulation is kept in the loop only when the original failure involved

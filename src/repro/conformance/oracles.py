@@ -67,7 +67,7 @@ class OracleVerdicts:
     simulation_safe: bool | None
     oversold: bool = False  # possession-blind verdict — documented limitation
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         return {
             "reduction": self.reduction_feasible,
             "reference": self.reference_feasible,
@@ -91,7 +91,7 @@ class CrossCheckResult:
         return not self.discrepancies
 
 
-def trace_key(trace: ReductionTrace):
+def trace_key(trace: ReductionTrace) -> tuple[object, ...]:
     """Everything observable about a reduction, flattened for comparison."""
     return (
         trace.feasible,

@@ -22,6 +22,7 @@ from repro.conformance.transforms import (
     assemble,
     exchange_records,
 )
+from repro.core.parties import Party
 from repro.core.problem import ExchangeProblem
 from repro.errors import ReproError
 
@@ -35,7 +36,10 @@ def _candidates(problem: ExchangeProblem) -> list[ExchangeProblem]:
     trust_pairs = tuple(problem.trust)
     variants: list[ExchangeProblem] = []
 
-    def offer(records_, trust_) -> None:
+    def offer(
+        records_: list[ExchangeRecord],
+        trust_: tuple[tuple[Party, Party], ...],
+    ) -> None:
         try:
             variants.append(assemble(problem.name, records_, trust_))
         except ReproError:

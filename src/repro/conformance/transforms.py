@@ -185,7 +185,7 @@ def permute_exchanges(
 def problems_equivalent(a: ExchangeProblem, b: ExchangeProblem) -> bool:
     """Structural equality up to declaration order (round-trip check)."""
 
-    def signature(p: ExchangeProblem):
+    def signature(p: ExchangeProblem) -> tuple[object, ...]:
         graph = p.interaction
         return (
             frozenset((q.name, q.role) for q in graph.principals),

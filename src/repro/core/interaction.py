@@ -19,7 +19,7 @@ edges in the sequencing graph.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
 from repro.core.items import Item
@@ -56,12 +56,12 @@ class InteractionEdge:
             object.__setattr__(self, "_hash", value)
             return value
 
-    def __getstate__(self) -> dict:
+    def __getstate__(self) -> dict[str, object]:
         state = dict(self.__dict__)
         state.pop("_hash", None)
         return state
 
-    def __setstate__(self, state: dict) -> None:
+    def __setstate__(self, state: dict[str, object]) -> None:
         for key, value in state.items():
             object.__setattr__(self, key, value)
 
@@ -117,15 +117,21 @@ class InteractionGraph:
         self._trusted[party.name] = party
         return party
 
-    def add_edge(self, principal: Party, trusted: Party, provides: Item, tag: str = "") -> InteractionEdge:
+    def add_edge(
+        self, principal: Party, trusted: Party, provides: Item, tag: str = ""
+    ) -> InteractionEdge:
         """Add an edge: *principal* deposits *provides* with *trusted*."""
         if principal.name not in self._principals:
             raise GraphError(f"unknown principal {principal.name!r}; add_principal it first")
         if trusted.name not in self._trusted:
-            raise GraphError(f"unknown trusted component {trusted.name!r}; add_trusted it first")
+            raise GraphError(
+                f"unknown trusted component {trusted.name!r}; add_trusted it first"
+            )
         edge = InteractionEdge(principal, trusted, provides, tag)
         if edge in self._edges:
-            raise GraphError(f"duplicate interaction edge {edge.label!r} (use tag= to disambiguate)")
+            raise GraphError(
+                f"duplicate interaction edge {edge.label!r} (use tag= to disambiguate)"
+            )
         self._edges.append(edge)
         return edge
 
@@ -358,7 +364,9 @@ class InteractionGraph:
         ]
         for edge in self._edges:
             marker = " [priority]" if edge in self._priority else ""
-            lines.append(f"  {edge.principal.name} --({edge.provides})--> {edge.trusted.name}{marker}")
+            lines.append(
+                f"  {edge.principal.name} --({edge.provides})--> {edge.trusted.name}{marker}"
+            )
         return "\n".join(lines)
 
 

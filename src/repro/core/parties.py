@@ -78,12 +78,12 @@ class Party:
             object.__setattr__(self, "_hash", value)
             return value
 
-    def __getstate__(self) -> dict:
+    def __getstate__(self) -> dict[str, object]:
         state = dict(self.__dict__)
         state.pop("_hash", None)
         return state
 
-    def __setstate__(self, state: dict) -> None:
+    def __setstate__(self, state: dict[str, object]) -> None:
         for key, value in state.items():
             object.__setattr__(self, key, value)
 

@@ -51,12 +51,12 @@ class CommitmentNode:
             object.__setattr__(self, "_hash", value)
             return value
 
-    def __getstate__(self) -> dict:
+    def __getstate__(self) -> dict[str, object]:
         state = dict(self.__dict__)
         state.pop("_hash", None)
         return state
 
-    def __setstate__(self, state: dict) -> None:
+    def __setstate__(self, state: dict[str, object]) -> None:
         for key, value in state.items():
             object.__setattr__(self, key, value)
 
@@ -92,12 +92,12 @@ class ConjunctionNode:
             object.__setattr__(self, "_hash", value)
             return value
 
-    def __getstate__(self) -> dict:
+    def __getstate__(self) -> dict[str, object]:
         state = dict(self.__dict__)
         state.pop("_hash", None)
         return state
 
-    def __setstate__(self, state: dict) -> None:
+    def __setstate__(self, state: dict[str, object]) -> None:
         for key, value in state.items():
             object.__setattr__(self, key, value)
 
@@ -135,12 +135,12 @@ class SGEdge:
             object.__setattr__(self, "_hash", value)
             return value
 
-    def __getstate__(self) -> dict:
+    def __getstate__(self) -> dict[str, object]:
         state = dict(self.__dict__)
         state.pop("_hash", None)
         return state
 
-    def __setstate__(self, state: dict) -> None:
+    def __setstate__(self, state: dict[str, object]) -> None:
         for key, value in state.items():
             object.__setattr__(self, key, value)
 
@@ -251,7 +251,9 @@ class SequencingGraph:
                     f"and {edge.conjunction.label!r}"
                 )
             seen.add(key)
-        for persona in self._personas:
+        # Sorted so the reported persona does not depend on set iteration
+        # order (PYTHONHASHSEED) when several annotations are invalid.
+        for persona in sorted(self._personas, key=lambda node: node.label):
             if persona not in commitment_set:
                 raise GraphError(f"persona annotation on unknown commitment {persona.label!r}")
 

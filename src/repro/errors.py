@@ -23,6 +23,8 @@ can catch a single base class.  Subsystems refine it:
   trusted component).
 * :class:`ProtocolError` — a protocol role received a message it cannot
   handle, or was asked to perform a transfer it cannot honour.
+* :class:`StaticCheckError` — the ``repro lint`` engine was misused (a path
+  does not exist, an unknown rule code was selected); CLI usage errors.
 """
 
 from __future__ import annotations
@@ -84,3 +86,7 @@ class FaultInjectionError(SimulationError):
 
 class ProtocolError(ReproError):
     """A protocol role cannot proceed (unexpected message, missing asset)."""
+
+
+class StaticCheckError(ReproError):
+    """The static-analysis engine was misused (bad path, unknown rule)."""

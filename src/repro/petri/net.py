@@ -8,7 +8,7 @@ immutable and hashable so the search can memoize them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Mapping
 
 from repro.errors import ModelError

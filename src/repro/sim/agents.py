@@ -29,12 +29,17 @@ semantics are untouched when no fault plan is installed.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 from repro.core.actions import Action, transfer
 from repro.core.items import Document, Item
 from repro.core.parties import Party
 from repro.core.protocol import PrincipalRole
 from repro.sim.faults import RetryPolicy
+
+if TYPE_CHECKING:
+    from repro.sim.network import Envelope
+    from repro.sim.runtime import SimulationRuntime
 
 
 class ResilientNode:
@@ -48,6 +53,9 @@ class ResilientNode:
     #: Backoff schedule for unacknowledged sends; subclasses may override.
     retry_policy = RetryPolicy()
 
+    party: Party
+    runtime: SimulationRuntime
+
     def _init_resilience(self) -> None:
         self._seen_keys: set[int] = set()
 
@@ -60,13 +68,13 @@ class ResilientNode:
         self._seen_keys.add(key)
         return False
 
-    def _dispatch(self, action: Action):
+    def _dispatch(self, action: Action) -> Envelope:
         """Transmit *action* and arm the retry schedule for it."""
         envelope = self.runtime.transmit(action)
         self._arm_retries(envelope)
         return envelope
 
-    def _arm_retries(self, envelope) -> None:
+    def _arm_retries(self, envelope: Envelope | None) -> None:
         if envelope is None or getattr(self.runtime, "fault_plan", None) is None:
             return
         network = self.runtime.network
@@ -97,7 +105,7 @@ class ResilientNode:
 class PrincipalAgent(ResilientNode):
     """Base class: a principal attached to a runtime (see runtime.py)."""
 
-    def __init__(self, party: Party, role: PrincipalRole, runtime) -> None:
+    def __init__(self, party: Party, role: PrincipalRole, runtime: SimulationRuntime) -> None:
         self.party = party
         self.role = role
         self.runtime = runtime
@@ -188,7 +196,13 @@ class AdversaryStrategy:
 class AdversarialPrincipal(PrincipalAgent):
     """A principal following an :class:`AdversaryStrategy` instead of its role."""
 
-    def __init__(self, party: Party, role: PrincipalRole, runtime, strategy: AdversaryStrategy):
+    def __init__(
+        self,
+        party: Party,
+        role: PrincipalRole,
+        runtime: SimulationRuntime,
+        strategy: AdversaryStrategy,
+    ) -> None:
         super().__init__(party, role, runtime)
         self.strategy = strategy
 

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import hashlib
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import FaultInjectionError
 

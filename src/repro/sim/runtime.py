@@ -46,7 +46,7 @@ from repro.sim.agents import (
 from repro.sim.events import EventQueue
 from repro.sim.faults import FaultPlan
 from repro.sim.ledger import Ledger, LedgerSnapshot, endow_from_interaction
-from repro.sim.network import Envelope, Network, NetworkStats, TimerHandle
+from repro.sim.network import Delivery, Envelope, Network, NetworkStats, TimerHandle
 from repro.sim.trusted_agent import TrustedAgent
 
 
@@ -312,14 +312,14 @@ class Simulation:
         )
 
 
-class _LoggingList(list):
+class _LoggingList(list["Delivery"]):
     """Adapter: the network appends Delivery records; we keep bare actions."""
 
     def __init__(self, sink: list[Action]) -> None:
         super().__init__()
         self._sink = sink
 
-    def append(self, delivery) -> None:  # type: ignore[override]
+    def append(self, delivery: Delivery) -> None:
         super().append(delivery)
         self._sink.append(delivery.action)
 

@@ -28,6 +28,7 @@ chaos harness exercises.
 from __future__ import annotations
 
 from dataclasses import replace
+from typing import TYPE_CHECKING
 
 from repro.core.actions import Action, notify, transfer
 from repro.core.items import Money
@@ -35,6 +36,9 @@ from repro.core.parties import Party
 from repro.core.protocol import TrustedExchangeSpec
 from repro.sim.agents import ResilientNode
 from repro.sim.faults import RetryPolicy
+
+if TYPE_CHECKING:
+    from repro.sim.runtime import SimulationRuntime
 
 
 class TrustedAgent(ResilientNode):
@@ -44,7 +48,7 @@ class TrustedAgent(ResilientNode):
     #: release or reversal while the run lasts.
     retry_policy = RetryPolicy(max_retries=32)
 
-    def __init__(self, spec: TrustedExchangeSpec, runtime) -> None:
+    def __init__(self, spec: TrustedExchangeSpec, runtime: SimulationRuntime) -> None:
         self.spec = spec
         self.party = spec.agent
         self.runtime = runtime

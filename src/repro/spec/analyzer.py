@@ -12,12 +12,31 @@ The parser guarantees shape; the analyzer guarantees meaning:
 * every declared party participates in at least one exchange.
 
 Errors are :class:`SpecSemanticError` carrying the offending position.
+
+On top of the fatal checks sits a **non-fatal warning tier**
+(:func:`analyze_warnings`) that flags declarations which are legal but
+almost certainly not what the author meant:
+
+* ``SPECW001`` — the declared priorities alone make the exchange trivially
+  infeasible (a red-edge cycle): dropping every ``priority`` statement
+  restores feasibility;
+* ``SPECW002`` — a ``trust`` declaration affects no reduction: the
+  step-for-step reduction trace is identical with and without it;
+* ``SPECW003`` — a party is reachable only via warned declarations: every
+  ``trust``/``priority`` statement naming it is inert.
+
+Warnings are :class:`repro.staticcheck.model.Finding` objects with
+``Severity.WARNING``, so user specs and our own Python source flow through
+the same reporters (``repro lint`` accepts ``.exchange`` files directly).
 """
 
 from __future__ import annotations
 
-from repro.errors import SpecSemanticError
-from repro.spec.ast import ClauseKind, SpecFile
+import dataclasses
+
+from repro.errors import ReproError, SpecSemanticError
+from repro.spec.ast import ClauseKind, ExchangeDecl, MemberClause, Position, SpecFile
+from repro.staticcheck.model import Finding, Severity
 
 
 def analyze(spec: SpecFile) -> SpecFile:
@@ -30,7 +49,7 @@ def analyze(spec: SpecFile) -> SpecFile:
     return spec
 
 
-def _fail(message: str, position) -> None:
+def _fail(message: str, position: Position) -> None:
     raise SpecSemanticError(message, line=position.line, column=position.column)
 
 
@@ -57,7 +76,7 @@ def _check_exchanges(spec: SpecFile) -> None:
                 exchange.position,
             )
         members: set[str] = set()
-        signatures: set[tuple] = set()
+        signatures: set[tuple[object, ...]] = set()
         for clause in exchange.clauses:
             if clause.party not in principals:
                 hint = (
@@ -74,6 +93,7 @@ def _check_exchanges(spec: SpecFile) -> None:
                     clause.position,
                 )
             members.add(clause.party)
+            signature: tuple[object, ...]
             if clause.kind is ClauseKind.PAYS:
                 signature = ("pays", clause.amount_cents, clause.tag)
             else:
@@ -88,7 +108,7 @@ def _check_exchanges(spec: SpecFile) -> None:
         _check_expects(exchange)
 
 
-def _check_expects(exchange) -> None:
+def _check_expects(exchange: ExchangeDecl) -> None:
     """Validate ``expects`` annotations (§9 multi-party entitlement maps)."""
     if exchange.deadline is not None and exchange.deadline <= 0:
         _fail("deadlines must be positive", exchange.position)
@@ -110,12 +130,12 @@ def _check_expects(exchange) -> None:
             missing.position,
         )
 
-    def provision_signature(clause):
+    def provision_signature(clause: MemberClause) -> tuple[object, ...]:
         if clause.kind is ClauseKind.PAYS:
             return ("pays", clause.amount_cents, clause.tag)
         return ("gives", clause.item, clause.tag)
 
-    def expects_signature(clause):
+    def expects_signature(clause: MemberClause) -> tuple[object, ...]:
         if clause.expects_amount_cents is not None:
             return ("pays", clause.expects_amount_cents, clause.expects_tag)
         return ("gives", clause.expects_item, clause.expects_tag)
@@ -190,3 +210,138 @@ def _check_participation(spec: SpecFile) -> None:
                 f"trusted component {decl.name!r} mediates no exchange",
                 decl.position,
             )
+
+
+# --------------------------------------------------------------- warning tier
+
+
+def _warning(
+    rule: str, message: str, position: Position, path: str, suggestion: str = ""
+) -> Finding:
+    return Finding(
+        path=path,
+        line=position.line,
+        column=position.column,
+        rule=rule,
+        message=message,
+        suggestion=suggestion,
+        severity=Severity.WARNING,
+    )
+
+
+def _trace_signature(spec: SpecFile) -> tuple[object, ...] | None:
+    """A step-for-step fingerprint of the fifo reduction of *spec*.
+
+    Returns None when the spec cannot be compiled (the fatal checks report
+    that separately); two specs reduce identically iff their signatures are
+    equal.
+    """
+    # Imported lazily: the compiler imports this module for its fatal checks.
+    from repro.spec.compiler import compile_spec
+
+    try:
+        problem = compile_spec(spec, validate=False)
+        trace = problem.reduce(strategy="fifo")
+    except ReproError:
+        return None
+    steps = tuple(
+        (step.edge.commitment.label, step.edge.conjunction.label, int(step.rule))
+        for step in trace.steps
+    )
+    return (trace.feasible, steps)
+
+
+def analyze_warnings(spec: SpecFile, path: str = "<spec>") -> list[Finding]:
+    """The non-fatal warning tier; *spec* must already pass :func:`analyze`.
+
+    Warnings are advisory: they never fail a build, but `repro lint` surfaces
+    them through the same reporters as the Python lint passes.
+    """
+    findings: list[Finding] = []
+    warned_priority_parties: set[str] = set()
+    warned_trust_parties: set[str] = set()
+
+    # SPECW001 — the priorities alone are a trivially infeasible cycle.
+    base_signature = _trace_signature(spec)
+    if spec.priorities and base_signature is not None and not base_signature[0]:
+        without_priorities = dataclasses.replace(spec, priorities=())
+        relaxed = _trace_signature(without_priorities)
+        if relaxed is not None and relaxed[0]:
+            cycle = ", ".join(
+                f"{p.principal} via {p.via}" for p in spec.priorities
+            )
+            findings.append(
+                _warning(
+                    "SPECW001",
+                    "the declared priorities form a trivially infeasible "
+                    f"cycle ({cycle}): removing every priority statement "
+                    "restores feasibility",
+                    spec.priorities[0].position,
+                    path,
+                    suggestion="drop or reorient one of the priority edges",
+                )
+            )
+            warned_priority_parties.update(p.principal for p in spec.priorities)
+
+    # SPECW002 — a trust declaration that affects no reduction.
+    inert_trusts = []
+    for index, trust in enumerate(spec.trusts):
+        remaining = spec.trusts[:index] + spec.trusts[index + 1 :]
+        without = dataclasses.replace(spec, trusts=remaining)
+        if base_signature is not None and _trace_signature(without) == base_signature:
+            inert_trusts.append(trust)
+            findings.append(
+                _warning(
+                    "SPECW002",
+                    f"trust {trust.truster} -> {trust.trustee} affects no "
+                    "reduction: the step-for-step trace is identical "
+                    "without it",
+                    trust.position,
+                    path,
+                    suggestion="remove the declaration or re-check which "
+                    "edge it was meant to unlock",
+                )
+            )
+    if len(inert_trusts) == len(spec.trusts):
+        warned_trust_parties.update(
+            name for t in inert_trusts for name in (t.truster, t.trustee)
+        )
+    else:
+        effective = set(spec.trusts) - set(inert_trusts)
+        inert_names = {
+            name for t in inert_trusts for name in (t.truster, t.trustee)
+        }
+        live_names = {
+            name for t in effective for name in (t.truster, t.trustee)
+        }
+        warned_trust_parties.update(inert_names - live_names)
+
+    # SPECW003 — parties reachable only via warned declarations.
+    mentioned: dict[str, list[str]] = {}
+    for priority in spec.priorities:
+        mentioned.setdefault(priority.principal, []).append("priority")
+    for trust in spec.trusts:
+        mentioned.setdefault(trust.truster, []).append("trust")
+        mentioned.setdefault(trust.trustee, []).append("trust")
+    positions = {decl.name: decl.position for decl in spec.principals}
+    positions.update({decl.name: decl.position for decl in spec.trusted})
+    for decl_name in sorted(mentioned):
+        kinds = mentioned[decl_name]
+        priority_ok = "priority" not in kinds or decl_name in warned_priority_parties
+        trust_ok = "trust" not in kinds or decl_name in warned_trust_parties
+        if priority_ok and trust_ok and (
+            decl_name in warned_priority_parties or decl_name in warned_trust_parties
+        ):
+            findings.append(
+                _warning(
+                    "SPECW003",
+                    f"party {decl_name!r} is reachable only via warned "
+                    "declarations: every trust/priority statement naming it "
+                    "is inert",
+                    positions.get(decl_name, Position(1, 1)),
+                    path,
+                    suggestion="the party still trades, but its trust/priority "
+                    "annotations do nothing — delete or fix them",
+                )
+            )
+    return sorted(findings, key=lambda finding: finding.sort_key)

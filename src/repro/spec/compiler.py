@@ -9,13 +9,13 @@ red edges, and trust statements populate the :class:`TrustRelation`.
 from __future__ import annotations
 
 from repro.core.interaction import InteractionGraph
-from repro.core.items import Document, cents
+from repro.core.items import Document, Item, cents
 from repro.core.parties import Party, Role
 from repro.core.problem import ExchangeProblem
 from repro.core.trust import TrustRelation
 from repro.errors import SpecSemanticError
 from repro.spec.analyzer import analyze
-from repro.spec.ast import ClauseKind, PrincipalKind, SpecFile
+from repro.spec.ast import ClauseKind, MemberClause, PrincipalKind, SpecFile
 from repro.spec.parser import parse
 
 _ROLE_OF_KIND = {
@@ -25,7 +25,7 @@ _ROLE_OF_KIND = {
 }
 
 
-def _clause_item(clause):
+def _clause_item(clause: MemberClause) -> Item:
     """The Item a member clause deposits."""
     if clause.kind is ClauseKind.PAYS:
         assert clause.amount_cents is not None
@@ -35,7 +35,7 @@ def _clause_item(clause):
     return Document(label)
 
 
-def _expected_item(clause):
+def _expected_item(clause: MemberClause) -> Item:
     """The Item named by a clause's ``expects`` annotation."""
     if clause.expects_amount_cents is not None:
         return cents(clause.expects_amount_cents, tag=clause.expects_tag)

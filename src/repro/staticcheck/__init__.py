@@ -1,0 +1,45 @@
+"""Determinism & safety static analysis for the repro codebase.
+
+The dynamic suites (chaos, conformance fuzzing) prove determinism by
+running; this package proves the *preconditions* for determinism without
+running anything: no unseeded randomness or wall-clock reads in the
+deterministic packages, no unordered ``set`` iteration feeding digests or
+renderers, no out-of-module mutation of frozen dataclasses, no float ledger
+math, no exception-based control flow.  ``repro lint`` is the CLI entry;
+DESIGN.md §10 is the rule catalogue.
+"""
+
+from repro.staticcheck.context import FileContext
+from repro.staticcheck.engine import (
+    PARSE_RULE,
+    SPEC_ERROR_RULE,
+    error_count,
+    expand_paths,
+    lint_paths,
+    lint_python_source,
+    lint_spec_source,
+    self_check,
+)
+from repro.staticcheck.model import Finding, Severity
+from repro.staticcheck.report import render_human, render_json
+from repro.staticcheck.rules import REGISTRY, Rule, default_rules, register
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "PARSE_RULE",
+    "REGISTRY",
+    "Rule",
+    "SPEC_ERROR_RULE",
+    "Severity",
+    "default_rules",
+    "error_count",
+    "expand_paths",
+    "lint_paths",
+    "lint_python_source",
+    "lint_spec_source",
+    "register",
+    "render_human",
+    "render_json",
+    "self_check",
+]

@@ -1,0 +1,113 @@
+"""Per-file analysis context for the AST lint passes.
+
+One :class:`FileContext` is built per linted file: the parsed tree, a
+child-to-parent map (the stdlib AST has no parent links), resolved import
+aliases, and the per-line suppression table.  Rules receive the context and
+yield findings; everything here is derived once so each rule stays a small
+pure visitor.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.staticcheck.suppress import suppressed_rules
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to analyze one source file."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    parents: dict[ast.AST, ast.AST] = field(default_factory=dict)
+    # module alias -> real module name, e.g. {"rnd": "random", "time": "time"}
+    module_aliases: dict[str, str] = field(default_factory=dict)
+    # bare name -> "module.attr" for `from module import attr [as name]`
+    from_imports: dict[str, str] = field(default_factory=dict)
+    suppressions: dict[int, frozenset[str] | None] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, path: str, source: str) -> "FileContext":
+        """Parse *source* and derive parent links, imports, suppressions."""
+        tree = ast.parse(source, filename=path)
+        ctx = cls(path=path, source=source, tree=tree)
+        for node in ast.walk(tree):
+            for child in ast.iter_child_nodes(node):
+                ctx.parents[child] = node
+        ctx._collect_imports()
+        ctx.suppressions = suppressed_rules(source)
+        return ctx
+
+    def _collect_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.module_aliases[alias.asname or alias.name] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    self.from_imports[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    # ----------------------------------------------------------------- lookup
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        """The direct parent of *node*, or None at module level."""
+        return self.parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Walk from *node*'s parent up to the module root."""
+        current = self.parents.get(node)
+        while current is not None:
+            yield current
+            current = self.parents.get(current)
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        """The innermost function/method containing *node*, if any."""
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+    def inside_fstring(self, node: ast.AST) -> bool:
+        """Whether *node* sits inside an f-string formatted value."""
+        return any(
+            isinstance(ancestor, ast.JoinedStr) for ancestor in self.ancestors(node)
+        )
+
+    def resolve_call(self, node: ast.Call) -> tuple[str, ...] | None:
+        """The dotted path a call resolves to, import-aware.
+
+        ``time.time()`` with ``import time`` yields ``("time", "time")``;
+        ``datetime.datetime.now()`` yields ``("datetime", "datetime", "now")``;
+        ``choice(...)`` after ``from random import choice`` yields
+        ``("random", "choice")``.  Returns None for calls whose target is not
+        a plain dotted name (subscripts, call results, lambdas).
+        """
+        func = node.func
+        parts: list[str] = []
+        while isinstance(func, ast.Attribute):
+            parts.append(func.attr)
+            func = func.value
+        if not isinstance(func, ast.Name):
+            return None
+        root = func.id
+        parts.reverse()
+        if not parts:
+            dotted = self.from_imports.get(root)
+            if dotted is not None:
+                return tuple(dotted.split("."))
+            return (root,)
+        real = self.module_aliases.get(root)
+        if real is not None:
+            return tuple(real.split(".")) + tuple(parts)
+        dotted = self.from_imports.get(root)
+        if dotted is not None:
+            return tuple(dotted.split(".")) + tuple(parts)
+        return (root, *parts)

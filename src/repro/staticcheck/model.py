@@ -1,0 +1,55 @@
+"""Finding model shared by the AST lint passes and the spec warning tier.
+
+A :class:`Finding` is one diagnostic anchored to a source position.  Both
+producers — the :mod:`repro.staticcheck.rules` AST passes run over our own
+Python source and the :func:`repro.spec.analyzer.analyze_warnings` tier run
+over user ``.exchange`` specs — emit this same shape, so the reporters in
+:mod:`repro.staticcheck.report` serve one diagnostics pipeline for both.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Severity(enum.Enum):
+    """How a finding gates the exit code.
+
+    ``ERROR`` findings make ``repro lint`` exit 1; ``WARNING`` findings (the
+    spec warning tier) are surfaced but advisory — they never fail a build on
+    their own.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: a rule violation (or spec warning) at a position."""
+
+    path: str
+    line: int
+    column: int
+    rule: str
+    message: str
+    suggestion: str = ""
+    severity: Severity = Severity.ERROR
+
+    @property
+    def sort_key(self) -> tuple[str, int, int, str]:
+        """Deterministic report order: path, then position, then rule."""
+        return (self.path, self.line, self.column, self.rule)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready representation (stable key order via sort_keys later)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+            "suggestion": self.suggestion,
+        }

@@ -1,0 +1,51 @@
+"""Human and JSON reporters for lint findings and spec warnings.
+
+Both producers emit :class:`repro.staticcheck.model.Finding`, so one pair of
+reporters covers ``repro lint`` on Python source and on ``.exchange`` specs.
+Output is deterministic: findings arrive pre-sorted from the engine and the
+JSON form uses sorted keys, so reports are directly diffable and digestable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.staticcheck.model import Finding, Severity
+
+
+def render_human(
+    findings: Iterable[Finding], fix_suggestions: bool = False
+) -> list[str]:
+    """One line per finding (plus an optional ``fix:`` line), then a summary."""
+    lines: list[str] = []
+    errors = warnings = 0
+    for finding in findings:
+        if finding.severity is Severity.ERROR:
+            errors += 1
+        else:
+            warnings += 1
+        tag = finding.severity.value
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.column}: "
+            f"{tag} {finding.rule} {finding.message}"
+        )
+        if fix_suggestions and finding.suggestion:
+            lines.append(f"    fix: {finding.suggestion}")
+    if errors or warnings:
+        lines.append(f"{errors} error(s), {warnings} warning(s)")
+    else:
+        lines.append("clean: no findings")
+    return lines
+
+
+def render_json(findings: Iterable[Finding]) -> str:
+    """A stable JSON document: counts plus the full finding list."""
+    items = [finding.to_dict() for finding in findings]
+    payload = {
+        "errors": sum(1 for f in items if f["severity"] == Severity.ERROR.value),
+        "warnings": sum(1 for f in items if f["severity"] == Severity.WARNING.value),
+        "count": len(items),
+        "findings": items,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,52 @@
+"""Per-line suppression of lint findings.
+
+A finding is suppressed when its source line carries a marker comment::
+
+    risky_call()  # repro: noqa[DET001]
+    other_call()  # repro: noqa[DET001, MONEY001]
+    anything()    # repro: noqa
+
+The bracketed form silences only the named rules; the bare form silences
+every rule on that line.  Suppressions are deliberately line-scoped — there
+is no file- or block-level escape hatch, so every waived finding stays
+visible next to the code it waives (the suppression policy is documented in
+DESIGN.md §10).
+"""
+
+from __future__ import annotations
+
+import re
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?")
+
+
+def suppressed_rules(source: str) -> dict[int, frozenset[str] | None]:
+    """Map 1-based line numbers to their suppressed rule codes.
+
+    A value of ``None`` means *all* rules are suppressed on that line.
+    Lines without a marker are absent from the map.
+    """
+    table: dict[int, frozenset[str] | None] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(text)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            table[lineno] = None
+        else:
+            codes = frozenset(
+                code.strip().upper() for code in rules.split(",") if code.strip()
+            )
+            table[lineno] = codes or None
+    return table
+
+
+def is_suppressed(
+    table: dict[int, frozenset[str] | None], line: int, rule: str
+) -> bool:
+    """Whether *rule* is suppressed on *line* according to *table*."""
+    if line not in table:
+        return False
+    codes = table[line]
+    return codes is None or rule.upper() in codes

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.actions import Action, ActionKind, give, notify, pay, transfer
 from repro.core.items import document, money
-from repro.core.parties import broker, consumer, producer, trusted
+from repro.core.parties import consumer, producer, trusted
 from repro.errors import ModelError
 
 C = consumer("c")

@@ -16,7 +16,7 @@ from repro.core.indemnity import (
 )
 from repro.core.parties import consumer
 from repro.errors import IndemnityError
-from repro.workloads import broker_bundle, example1, example2, figure7
+from repro.workloads import broker_bundle, example1
 
 CONSUMER = consumer("Consumer")
 

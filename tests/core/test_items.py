@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.items import Document, Money, cents, document, money
+from repro.core.items import Document, cents, document, money
 from repro.errors import ModelError
 
 

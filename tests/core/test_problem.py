@@ -2,9 +2,7 @@
 
 import pytest
 
-from repro.core.problem import ExchangeProblem
 from repro.errors import GraphError
-from repro.workloads import example1, example2
 
 
 class TestPipeline:

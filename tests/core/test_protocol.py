@@ -8,7 +8,7 @@ from repro.core.execution import recover_execution
 from repro.core.parties import broker, consumer, producer, trusted
 from repro.core.protocol import synthesize_protocol
 from repro.errors import ProtocolError
-from repro.workloads import example1, example2, simple_purchase
+from repro.workloads import example2
 
 
 def _protocol(problem):

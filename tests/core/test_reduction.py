@@ -4,10 +4,10 @@ import random
 
 import pytest
 
-from repro.core.parties import broker, trusted
+from repro.core.parties import trusted
 from repro.core.reduction import ReductionEngine, Rule, reduce_graph, replay
 from repro.errors import ReductionError
-from repro.workloads import example1, example2, poor_broker
+from repro.workloads import example1
 
 
 def _edge(sg, principal, trusted_name, conj_agent):

@@ -12,9 +12,8 @@ from repro.core.sequencing import (
     SGEdge,
     SequencingGraph,
 )
-from repro.core.trust import TrustRelation
 from repro.errors import GraphError
-from repro.workloads import example1, example2
+from repro.workloads import example2
 
 
 class TestConstructionFromFigure1:
@@ -164,6 +163,21 @@ class TestQueriesAndValidation:
                 sg.conjunctions,
                 list(sg.edges) + [sg.edges[0]],
             )
+
+    def test_unknown_persona_error_is_deterministic(self, ex1):
+        # Regression (DET hygiene): with several invalid persona annotations
+        # the reported one must be the lexicographically first by label, not
+        # whichever a hash-seeded frozenset yields first.
+        sg = ex1.sequencing_graph()
+        other = example2().sequencing_graph()
+        strays = [c for c in other.commitments if c not in sg.commitments][:2]
+        assert len(strays) == 2
+        first_label = min(c.label for c in strays)
+        for ordering in (strays, list(reversed(strays))):
+            with pytest.raises(GraphError, match=f"unknown commitment {first_label!r}"):
+                SequencingGraph(
+                    sg.commitments, sg.conjunctions, sg.edges, personas=ordering
+                )
 
     def test_interaction_back_reference(self, ex1):
         assert ex1.sequencing_graph().interaction is ex1.interaction

@@ -3,7 +3,7 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.actions import give, notify, pay, transfer
+from repro.core.actions import transfer
 from repro.core.items import cents, document, money
 from repro.core.parties import Party, Role
 from repro.core.states import ExchangeState

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.actions import give, pay
 from repro.core.items import document, money
-from repro.core.parties import broker, consumer, producer, trusted
+from repro.core.parties import consumer, producer, trusted
 from repro.errors import SimulationError
 from repro.sim.ledger import Ledger, endow_from_interaction
 from repro.workloads import example1, resale_chain

@@ -1,7 +1,7 @@
 """Temporal semantics: deadlines, notification expiry, late arrivals (§2.2/§2.5)."""
 
 from repro.core.actions import ActionKind
-from repro.sim import Simulation, evaluate_safety, simulate, slow_party
+from repro.sim import evaluate_safety, simulate, slow_party
 from repro.spec import load
 from repro.workloads import example1, simple_purchase
 

@@ -25,7 +25,8 @@ class TestHeader:
         assert parse("problem demo1").name == "demo1"
 
     def test_missing_header_defaults(self):
-        assert parse("principal consumer C" + GOOD.split("principal consumer C")[1]).name == "unnamed"
+        headerless = "principal consumer C" + GOOD.split("principal consumer C")[1]
+        assert parse(headerless).name == "unnamed"
 
     def test_bad_header(self):
         with pytest.raises(SpecSyntaxError, match="problem name"):

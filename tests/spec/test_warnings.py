@@ -1,0 +1,98 @@
+"""The non-fatal spec warning tier (SPECW001/2/3) and its lint routing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.spec import format_problem
+from repro.spec.analyzer import analyze_warnings
+from repro.spec.parser import parse
+from repro.staticcheck import Severity, lint_paths
+from repro.workloads import example1, example2_source_trusts_broker
+
+WARNED_SPEC = """\
+problem "warn-demo"
+
+principal consumer Consumer
+principal broker Broker
+principal producer Producer
+trusted Trusted1
+trusted Trusted2
+
+exchange via Trusted1 {
+    Consumer pays $12.00 tag retail
+    Broker gives d
+}
+exchange via Trusted2 {
+    Broker pays $10.00 tag wholesale
+    Producer gives d
+}
+
+priority Broker via Trusted1
+priority Broker via Trusted2
+
+trust Consumer -> Producer
+"""
+
+
+class TestWarningTier:
+    def test_infeasible_priority_cycle_warns_specw001(self):
+        findings = analyze_warnings(parse(WARNED_SPEC))
+        w001 = [f for f in findings if f.rule == "SPECW001"]
+        assert len(w001) == 1
+        assert "removing every priority statement" in w001[0].message
+        assert w001[0].severity is Severity.WARNING
+
+    def test_inert_trust_warns_specw002(self):
+        findings = analyze_warnings(parse(WARNED_SPEC))
+        w002 = [f for f in findings if f.rule == "SPECW002"]
+        assert len(w002) == 1
+        assert "Consumer -> Producer" in w002[0].message
+
+    def test_parties_only_in_warned_declarations_warn_specw003(self):
+        findings = analyze_warnings(parse(WARNED_SPEC))
+        names = {
+            f.message.split("'")[1] for f in findings if f.rule == "SPECW003"
+        }
+        assert names == {"Consumer", "Broker", "Producer"}
+
+    def test_warning_positions_point_at_declarations(self):
+        findings = analyze_warnings(parse(WARNED_SPEC), path="demo.exchange")
+        w001 = next(f for f in findings if f.rule == "SPECW001")
+        assert w001.path == "demo.exchange"
+        assert w001.line == 18  # first priority statement
+
+    def test_effective_priority_and_trust_stay_silent(self):
+        # example1's priority is satisfiable; the trust variant's trust edge
+        # genuinely changes the reduction — neither may warn.
+        for problem in (example1(), example2_source_trusts_broker()):
+            spec = parse(format_problem(problem))
+            assert analyze_warnings(spec) == []
+
+    def test_warnings_do_not_gate_the_exit_path(self, tmp_path):
+        target = tmp_path / "warned.exchange"
+        target.write_text(WARNED_SPEC, encoding="utf-8")
+        findings = lint_paths([str(target)])
+        assert findings  # surfaced ...
+        assert all(f.severity is Severity.WARNING for f in findings)  # ... advisory
+
+
+class TestSpecErrorRouting:
+    def test_semantic_error_becomes_spec000_finding(self, tmp_path):
+        target = tmp_path / "broken.exchange"
+        target.write_text(
+            'problem "broken"\n\nprincipal consumer C\ntrusted T\n\n'
+            "exchange via T {\n    C pays $1.00\n    Ghost gives d\n}\n",
+            encoding="utf-8",
+        )
+        findings = lint_paths([str(target)])
+        assert [f.rule for f in findings] == ["SPEC000"]
+        assert findings[0].severity is Severity.ERROR
+        assert "Ghost" in findings[0].message
+
+
+@pytest.mark.parametrize("factory", [example1, example2_source_trusts_broker])
+def test_formatter_round_trip_stays_warning_free(factory):
+    """Our own formatted output must never trip the warning tier."""
+    spec = parse(format_problem(factory()))
+    assert analyze_warnings(spec) == []

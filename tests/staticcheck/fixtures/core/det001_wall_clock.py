@@ -1,0 +1,16 @@
+"""Fixture: exactly one DET001 violation (wall-clock read in core/)."""
+
+import random
+import time
+
+RNG = random.Random(7)  # seeded: sanctioned, never flagged
+
+
+def event_timestamp() -> float:
+    """Reading the wall clock makes replay observe a different value."""
+    return time.time()  # DET001 expected here
+
+
+def sanctioned_draw() -> float:
+    """Seeded instance randomness is the approved pattern."""
+    return RNG.random()

@@ -1,0 +1,13 @@
+"""Fixture: exactly one DET002 violation (set iteration in a digest sink)."""
+
+
+def digest(labels: list[str]) -> str:
+    """Iterating the deduplicated set leaks hash order into the digest."""
+    unique = set(labels)
+    parts = [item.upper() for item in unique]  # DET002 expected here
+    return "|".join(parts)
+
+
+def safe_digest(labels: list[str]) -> str:
+    """The sanctioned form: an explicit sorted(...) wrapper."""
+    return "|".join(sorted(set(labels)))

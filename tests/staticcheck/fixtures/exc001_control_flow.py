@@ -1,0 +1,15 @@
+"""Fixture: exactly one EXC001 violation (bare except as control flow)."""
+
+
+def parse_or_default(text: str) -> int:
+    try:
+        return int(text)
+    except:  # EXC001 expected here
+        return 0
+
+
+def narrow_is_fine(text: str) -> int:
+    try:
+        return int(text)
+    except ValueError:
+        return 0

@@ -1,0 +1,16 @@
+"""Fixture: exactly one MONEY001 violation (float math on a cents amount)."""
+
+
+def surcharge(amount_cents: int) -> float:
+    """Ledger arithmetic must stay in integer cents."""
+    return amount_cents * 1.05  # MONEY001 expected here
+
+
+def total_dollars(amount_cents: int) -> float:
+    """Display conversion in a *dollar* helper is exempt."""
+    return amount_cents / 100
+
+
+def describe(amount_cents: int) -> str:
+    """Display conversion inside an f-string is exempt."""
+    return f"${amount_cents / 100:.2f}"

@@ -1,0 +1,16 @@
+"""Fixture: exactly one MUT001 violation (frozen mutation outside owner)."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Sealed:
+    value: int
+
+    def _rehash(self) -> None:
+        object.__setattr__(self, "_hash", 7)  # self target: allowed
+
+
+def corrupt(instance: Sealed) -> None:
+    """Reaching into a frozen instance from outside its methods."""
+    object.__setattr__(instance, "value", 99)  # MUT001 expected here

@@ -1,0 +1,86 @@
+"""Engine plumbing: path expansion, parse failures, reporters."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import StaticCheckError
+from repro.staticcheck import (
+    PARSE_RULE,
+    Finding,
+    Severity,
+    expand_paths,
+    lint_paths,
+    render_human,
+    render_json,
+)
+
+
+class TestExpandPaths:
+    def test_missing_path_is_a_usage_error(self):
+        with pytest.raises(StaticCheckError, match="no such file"):
+            expand_paths(["does/not/exist"])
+
+    def test_directory_expansion_is_sorted_and_skips_pycache(self, tmp_path):
+        (tmp_path / "b.py").write_text("x = 1\n", encoding="utf-8")
+        (tmp_path / "a.py").write_text("x = 1\n", encoding="utf-8")
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "a.cpython-311.py").write_text("x = 1\n", encoding="utf-8")
+        names = [p.name for p in expand_paths([str(tmp_path)])]
+        assert names == ["a.py", "b.py"]
+
+    def test_duplicate_paths_deduplicated(self, tmp_path):
+        target = tmp_path / "a.py"
+        target.write_text("x = 1\n", encoding="utf-8")
+        assert len(expand_paths([str(target), str(target)])) == 1
+
+
+class TestUnknownRule:
+    def test_unknown_select_is_a_usage_error(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n", encoding="utf-8")
+        with pytest.raises(StaticCheckError, match="unknown rule"):
+            lint_paths([str(tmp_path)], select=("NOPE999",))
+
+
+class TestParseFailure:
+    def test_unparseable_file_reports_parse_rule(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def oops(:\n", encoding="utf-8")
+        findings = lint_paths([str(bad)])
+        assert [f.rule for f in findings] == [PARSE_RULE]
+        assert findings[0].severity is Severity.ERROR
+
+
+class TestReporters:
+    def _findings(self):
+        return [
+            Finding("a.py", 3, 1, "DET001", "boom", suggestion="seed it"),
+            Finding(
+                "b.exchange", 1, 1, "SPECW002", "inert",
+                severity=Severity.WARNING,
+            ),
+        ]
+
+    def test_human_lines_and_summary(self):
+        lines = render_human(self._findings(), fix_suggestions=True)
+        assert lines[0] == "a.py:3:1: error DET001 boom"
+        assert lines[1] == "    fix: seed it"
+        assert lines[2] == "b.exchange:1:1: warning SPECW002 inert"
+        assert lines[-1] == "1 error(s), 1 warning(s)"
+
+    def test_human_clean_summary(self):
+        assert render_human([]) == ["clean: no findings"]
+
+    def test_json_counts_and_shape(self):
+        payload = json.loads(render_json(self._findings()))
+        assert payload["count"] == 2
+        assert payload["errors"] == 1
+        assert payload["warnings"] == 1
+        assert payload["findings"][0]["rule"] == "DET001"
+        assert payload["findings"][1]["severity"] == "warning"
+
+    def test_json_is_deterministic(self):
+        assert render_json(self._findings()) == render_json(self._findings())

@@ -203,3 +203,63 @@ class TestExtensionCommands:
         assert main(["petri", "--example", "example1", "--dot"]) == 0
         out = capsys.readouterr().out
         assert out.startswith('digraph "example1"')
+
+
+class TestLint:
+    """Exit-code contract: 0 clean / 1 findings / 2 usage error — matching
+    the fuzz/chaos subcommand conventions."""
+
+    FIXTURES = "tests/staticcheck/fixtures"
+
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main(["lint", "src"]) == 0
+        assert "clean: no findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, capsys):
+        assert main(["lint", self.FIXTURES]) == 1
+        out = capsys.readouterr().out
+        for code in ("DET001", "DET002", "MUT001", "MONEY001", "EXC001"):
+            assert code in out
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main(["lint", "no/such/tree"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_unknown_rule_exits_two(self, capsys):
+        assert main(["lint", "src", "--select", "NOPE999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_select_narrows_to_one_rule(self, capsys):
+        assert main(["lint", self.FIXTURES, "--select", "DET001"]) == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out
+        assert "DET002" not in out
+
+    def test_json_format_is_machine_readable(self, capsys):
+        import json as json_module
+
+        assert main(["lint", self.FIXTURES, "--format", "json"]) == 1
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload["count"] == 5
+        assert payload["errors"] == 5
+        assert payload["warnings"] == 0
+
+    def test_fix_suggestions_render(self, capsys):
+        assert main(["lint", self.FIXTURES, "--fix-suggestions"]) == 1
+        assert "fix:" in capsys.readouterr().out
+
+    def test_spec_warnings_do_not_fail(self, tmp_path, capsys):
+        spec = tmp_path / "warned.exchange"
+        spec.write_text(
+            'problem "w"\n\n'
+            "principal consumer C\nprincipal broker B\nprincipal producer P\n"
+            "trusted T1\ntrusted T2\n\n"
+            "exchange via T1 {\n    C pays $1.00\n    B gives d\n}\n"
+            "exchange via T2 {\n    B pays $0.50\n    P gives d\n}\n\n"
+            "priority B via T1\npriority B via T2\n",
+            encoding="utf-8",
+        )
+        assert main(["lint", str(spec)]) == 0
+        out = capsys.readouterr().out
+        assert "SPECW001" in out
+        assert "warning" in out

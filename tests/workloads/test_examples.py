@@ -1,7 +1,5 @@
 """Unit tests for the canonical example fixtures (Figures 1, 2, 7)."""
 
-import pytest
-
 from repro.workloads import (
     example1,
     example2,
