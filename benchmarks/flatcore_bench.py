@@ -1,0 +1,205 @@
+"""Measure the compiled flat core and write ``BENCH_flatcore.json``.
+
+Standalone (no pytest-benchmark) so CI's bench-smoke job and a developer's
+shell run the exact same thing::
+
+    PYTHONPATH=src python benchmarks/flatcore_bench.py \
+        --sizes 64,256 --assert-parity --out BENCH_flatcore.json
+
+Per size ``n`` it builds ``resale_chain(n)``, then times — median of
+``--repeat`` runs each —
+
+* the indexed engine's full ``reduce_graph`` (trace built);
+* ``compile_graph`` (one-off cost, amortized over reuse);
+* the flat free-order verdict loop (``check_feasibility_flat``, no trace);
+* the flat parity engine + decompiler (``reduce_graph_compiled``, full
+  trace).
+
+It also measures batch throughput (problems/second) over ``--batch``
+random problems, indexed one-at-a-time vs the packed flat arena.  All
+timing lives here because wall-clock reads are banned from the linted core
+(DET001); the payload is assembled by the DET002-linted builders in
+:mod:`repro.core.flatcore.report`.
+
+``--assert-parity`` makes the script exit non-zero unless the flat *trace*
+path is at least at wall-clock parity with the indexed engine at every
+measured size (the verdict loop is far faster still) — that is the CI
+regression bar.  ``--assert-min-speedup X`` additionally requires the
+verdict loop to beat the indexed engine by a factor of X at the largest
+measured size.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from datetime import date
+
+from repro.analysis.batch import batch_specs, effective_cpu_count
+from repro.core.flatcore import (
+    check_feasibility_flat,
+    check_feasibility_flat_batch,
+    compile_graph,
+    reduce_graph_compiled,
+)
+from repro.core.flatcore.report import bench_payload
+from repro.core.reduction import reduce_graph
+from repro.workloads import RandomProblemConfig, resale_chain
+
+
+def median_seconds(fn, repeat: int) -> float:
+    samples = []
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def bench_sizes(sizes: list[int], repeat: int):
+    graph_sizes: dict[int, int] = {}
+    indexed: dict[int, float] = {}
+    compile_s: dict[int, float] = {}
+    verdict: dict[int, float] = {}
+    trace: dict[int, float] = {}
+    for n in sizes:
+        problem = resale_chain(n, retail=float(max(1000, 2 * n)))
+        sg = problem.sequencing_graph()
+        graph_sizes[n] = len(sg.edges)
+        compiled = compile_graph(sg)
+        indexed[n] = median_seconds(lambda: reduce_graph(sg), repeat)
+        compile_s[n] = median_seconds(lambda: compile_graph(sg), repeat)
+        verdict[n] = median_seconds(lambda: check_feasibility_flat(compiled), repeat)
+        trace[n] = median_seconds(lambda: reduce_graph_compiled(compiled), repeat)
+        # Sanity: both engines certify the chain feasible.
+        assert reduce_graph(sg).feasible
+        assert check_feasibility_flat(compiled).feasible
+        print(
+            f"n={n:>6} E={graph_sizes[n]:>6} indexed={indexed[n] * 1e3:9.2f}ms "
+            f"compile={compile_s[n] * 1e3:8.2f}ms "
+            f"verdict={verdict[n] * 1e3:8.2f}ms trace={trace[n] * 1e3:9.2f}ms "
+            f"verdict_x={indexed[n] / verdict[n]:6.1f} "
+            f"trace_x={indexed[n] / trace[n]:5.1f}",
+            file=sys.stderr,
+        )
+    return graph_sizes, indexed, compile_s, verdict, trace
+
+
+def bench_batch(problems: int, repeat: int) -> tuple[float, float]:
+    specs = batch_specs(
+        problems,
+        RandomProblemConfig(
+            n_principals=12, n_exchanges=9, priority_probability=0.5
+        ),
+        seed=0,
+    )
+    graphs = [spec.build().sequencing_graph() for spec in specs]
+
+    def indexed_pass():
+        for g in graphs:
+            reduce_graph(g)
+
+    def flat_pass():
+        check_feasibility_flat_batch(graphs)
+
+    indexed_s = median_seconds(indexed_pass, repeat)
+    flat_s = median_seconds(flat_pass, repeat)
+    return problems / indexed_s, problems / flat_s
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes",
+        default="64,256,1024",
+        help="comma-separated broker counts for resale_chain (default 64,256,1024)",
+    )
+    parser.add_argument("--repeat", type=int, default=5, help="runs per median")
+    parser.add_argument("--batch", type=int, default=200, help="batch problem count")
+    parser.add_argument("--out", metavar="PATH", help="write the JSON payload here")
+    parser.add_argument(
+        "--assert-parity",
+        action="store_true",
+        help="fail unless the flat trace path is at least as fast as the "
+        "indexed engine at every size",
+    )
+    parser.add_argument(
+        "--assert-min-speedup",
+        type=float,
+        metavar="X",
+        help="fail unless the verdict loop beats the indexed engine X-fold "
+        "at the largest size",
+    )
+    args = parser.parse_args(argv)
+    sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
+
+    graph_sizes, indexed, compile_s, verdict, trace = bench_sizes(sizes, args.repeat)
+    indexed_pps, flat_pps = bench_batch(args.batch, max(1, args.repeat // 2))
+    print(
+        f"batch of {args.batch}: indexed {indexed_pps:,.0f} problems/s, "
+        f"flat arena {flat_pps:,.0f} problems/s",
+        file=sys.stderr,
+    )
+
+    payload = bench_payload(
+        machine=f"{effective_cpu_count()}-core {platform.system().lower()}, "
+        f"CPython {platform.python_version()}",
+        date=date.today().isoformat(),
+        process_cpus=effective_cpu_count(),
+        graph_sizes=graph_sizes,
+        indexed_reduce_seconds=indexed,
+        compile_seconds=compile_s,
+        flat_verdict_seconds=verdict,
+        flat_trace_seconds=trace,
+        batch_problems=args.batch,
+        batch_indexed_problems_per_second=round(indexed_pps, 1),
+        batch_flat_problems_per_second=round(flat_pps, 1),
+        notes={
+            "workload": "resale_chain(n, retail=max(1000, 2n)); batch uses "
+            "200 random 12-principal problems",
+            "verdict_vs_trace": "the verdict loop skips trace construction "
+            "entirely; the trace path runs the parity engine + decompiler "
+            "and still beats the indexed engine",
+        },
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+
+    failures = []
+    if args.assert_parity:
+        for n in sizes:
+            if trace[n] > indexed[n]:
+                failures.append(
+                    f"flat trace path slower than indexed at n={n}: "
+                    f"{trace[n]:.4f}s > {indexed[n]:.4f}s"
+                )
+        if flat_pps < indexed_pps:
+            failures.append(
+                f"flat arena throughput below indexed: {flat_pps:.0f} < "
+                f"{indexed_pps:.0f} problems/s"
+            )
+    if args.assert_min_speedup:
+        top = max(sizes)
+        ratio = indexed[top] / verdict[top]
+        if ratio < args.assert_min_speedup:
+            failures.append(
+                f"verdict speedup {ratio:.1f}x at n={top} is below the "
+                f"required {args.assert_min_speedup}x"
+            )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

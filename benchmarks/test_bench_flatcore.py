@@ -1,0 +1,77 @@
+"""FLATCORE — the compiled flat-array core against the indexed engine.
+
+Times the three flat paths (compile, free-order verdict, parity trace)
+next to the indexed engine at the same sizes as the SCALE bench, and the
+packed arena against one-at-a-time reduction for batches.  Every benchmark
+also asserts verdict correctness, so the numbers can't drift away from the
+semantics.  ``benchmarks/flatcore_bench.py`` is the standalone twin that
+writes ``BENCH_flatcore.json``.
+"""
+
+import pytest
+
+from repro.analysis import batch_specs
+from repro.core.flatcore import (
+    check_feasibility_flat,
+    check_feasibility_flat_batch,
+    compile_graph,
+    reduce_graph_compiled,
+)
+from repro.core.reduction import reduce_graph
+from repro.workloads import RandomProblemConfig, resale_chain
+
+SIZES = [64, 256, 1024]
+
+
+def _chain_graph(n_brokers):
+    problem = resale_chain(n_brokers, retail=float(max(1000, 2 * n_brokers)))
+    return problem.sequencing_graph()
+
+
+@pytest.mark.parametrize("n_brokers", SIZES)
+def test_bench_flat_compile(benchmark, n_brokers):
+    sg = _chain_graph(n_brokers)
+    compiled = benchmark(compile_graph, sg)
+    assert compiled.n_edges == len(sg.edges)
+
+
+@pytest.mark.parametrize("n_brokers", SIZES)
+def test_bench_flat_verdict_loop(benchmark, n_brokers):
+    compiled = compile_graph(_chain_graph(n_brokers))
+    verdict = benchmark(check_feasibility_flat, compiled)
+    assert verdict.feasible and verdict.remaining == 0
+
+
+@pytest.mark.parametrize("n_brokers", SIZES)
+def test_bench_flat_trace_path(benchmark, n_brokers):
+    sg = _chain_graph(n_brokers)
+    compiled = compile_graph(sg)
+    trace = benchmark(reduce_graph_compiled, compiled)
+    assert trace.feasible
+    assert len(trace.steps) == len(sg.edges)
+
+
+@pytest.mark.parametrize("n_brokers", SIZES)
+def test_bench_indexed_reference_point(benchmark, n_brokers):
+    # The same graphs through the indexed engine, so each bench run carries
+    # its own comparison column.
+    sg = _chain_graph(n_brokers)
+    trace = benchmark(reduce_graph, sg)
+    assert trace.feasible
+
+
+@pytest.mark.parametrize("engine", ["indexed", "flat"])
+def test_bench_batch_throughput(benchmark, engine):
+    specs = batch_specs(
+        100,
+        RandomProblemConfig(n_principals=12, n_exchanges=9, priority_probability=0.5),
+        seed=0,
+    )
+    graphs = [spec.build().sequencing_graph() for spec in specs]
+
+    if engine == "flat":
+        verdicts = benchmark(check_feasibility_flat_batch, graphs)
+        assert len(verdicts) == 100
+    else:
+        traces = benchmark(lambda: [reduce_graph(g) for g in graphs])
+        assert len(traces) == 100

@@ -7,6 +7,7 @@ from repro.analysis.batch import (
     ProblemSpec,
     batch_specs,
     check_feasibility_batch,
+    effective_cpu_count,
     parallel_map,
 )
 from repro.analysis.chaos_study import (
@@ -55,6 +56,7 @@ __all__ = [
     "ProblemSpec",
     "batch_specs",
     "check_feasibility_batch",
+    "effective_cpu_count",
     "parallel_map",
     "ChaosConfig",
     "ChaosReport",

@@ -18,7 +18,11 @@ parallel.  This module provides the shared driver:
   boundary for generated workloads.
 * :func:`check_feasibility_batch` — the batched §4.2.4 verdict:
   accepts specs and/or ready problems, returns light
-  :class:`BatchVerdict` rows.
+  :class:`BatchVerdict` rows.  ``engine="flat"`` routes whole *blocks* of
+  problems through the compiled arena
+  (:func:`repro.core.flatcore.check_feasibility_flat_batch`) instead of
+  one indexed reduction per problem — same verdicts (the reduction system
+  is confluent; DESIGN.md §11), a fraction of the interpreter overhead.
 * :func:`batch_specs` — the spec-level twin of
   :func:`repro.workloads.random_graphs.random_problem_batch` (identical
   sub-seed derivation, so ``spec.build()`` reproduces the same problems).
@@ -27,6 +31,7 @@ parallel.  This module provides the shared driver:
 from __future__ import annotations
 
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from functools import partial
@@ -34,7 +39,9 @@ from typing import Callable, Iterable, Sequence, TypeVar
 
 import random
 
+from repro.core.flatcore import ENGINES, check_feasibility_flat_batch
 from repro.core.problem import ExchangeProblem
+from repro.errors import ReproError
 from repro.workloads.random_graphs import RandomProblemConfig, random_problem
 
 T = TypeVar("T")
@@ -43,9 +50,25 @@ R = TypeVar("R")
 #: Below this many items a pool costs more than it saves; run serially.
 SERIAL_THRESHOLD = 8
 
+#: Problems per arena when the flat engine batches a pool task.
+FLAT_BLOCK = 64
+
+
+def effective_cpu_count() -> int:
+    """CPUs actually available to this process.
+
+    Uses :func:`os.process_cpu_count` (Python 3.13+, affinity-aware) when
+    present, falling back to :func:`os.cpu_count`.  Recorded in every bench
+    and report artifact so throughput numbers stay interpretable, and used
+    to warn when a process pool is requested on a single-core host.
+    """
+    getter = getattr(os, "process_cpu_count", None)
+    count: int | None = getter() if getter is not None else os.cpu_count()
+    return count or 1
+
 
 def _auto_processes() -> int:
-    return os.cpu_count() or 1
+    return effective_cpu_count()
 
 
 def _auto_chunksize(n_items: int, processes: int) -> int:
@@ -71,6 +94,16 @@ def parallel_map(
     workers = _auto_processes() if processes is None else processes
     if workers <= 1 or len(items) < SERIAL_THRESHOLD:
         return [fn(item) for item in items]
+    if effective_cpu_count() == 1:
+        # Results are identical either way, so honor the request — but say
+        # why it won't be faster (BENCH_reduction.json's batched_study rows
+        # looked like a parallelization failure until this was diagnosed).
+        warnings.warn(
+            "parallel_map: this host exposes a single CPU to the process; "
+            f"a pool of {workers} workers only adds dispatch overhead",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     workers = min(workers, len(items))
     if chunksize is None:
         chunksize = _auto_chunksize(len(items), workers)
@@ -139,6 +172,33 @@ def _check_one(
     return BatchVerdict.of(problem, strategy, enable_persona_clause)
 
 
+def _check_block_flat(
+    block: "tuple[ProblemSpec | ExchangeProblem, ...]",
+    enable_persona_clause: bool = True,
+) -> list[BatchVerdict]:
+    """Worker: compile one block of problems into an arena and reduce it.
+
+    One pool task now carries :data:`FLAT_BLOCK` problems instead of one, so
+    the flat engine's per-problem overhead is a slice of a shared scratch
+    copy rather than a full engine construction.
+    """
+    graphs = [
+        (item.build() if isinstance(item, ProblemSpec) else item).sequencing_graph()
+        for item in block
+    ]
+    return [
+        BatchVerdict(
+            feasible=v.feasible,
+            steps=v.steps,
+            remaining=v.remaining,
+            blockages=v.blockages,
+        )
+        for v in check_feasibility_flat_batch(
+            graphs, enable_persona_clause=enable_persona_clause
+        )
+    ]
+
+
 def check_feasibility_batch(
     items: "Sequence[ProblemSpec | ExchangeProblem]",
     *,
@@ -146,12 +206,34 @@ def check_feasibility_batch(
     enable_persona_clause: bool = True,
     processes: int | None = None,
     chunksize: int | None = None,
+    engine: str = "indexed",
 ) -> list[BatchVerdict]:
     """Feasibility verdicts for a batch, in input order.
 
     Mixing :class:`ProblemSpec` recipes (rebuilt worker-side) and ready
     :class:`ExchangeProblem` objects (pickled whole) is allowed.
+
+    ``engine="flat"`` reduces via the compiled arena.  The flat loop picks
+    its own removal order, but reductions are confluent (unique normal
+    form, DESIGN.md §11), so the verdict rows are identical to the indexed
+    engine's under *every* ``strategy`` — the flat-batch test suite and the
+    conformance fuzzer's flat arm both assert this.
     """
+    if engine not in ENGINES:
+        raise ReproError(
+            f"unknown engine {engine!r}: expected one of {', '.join(ENGINES)}"
+        )
+    if engine == "flat":
+        block_size = chunksize if chunksize is not None else FLAT_BLOCK
+        blocks = [
+            tuple(items[i : i + block_size])
+            for i in range(0, len(items), block_size)
+        ]
+        block_fn = partial(
+            _check_block_flat, enable_persona_clause=enable_persona_clause
+        )
+        nested = parallel_map(block_fn, blocks, processes=processes, chunksize=1)
+        return [verdict for block in nested for verdict in block]
     fn = partial(
         _check_one, strategy=strategy, enable_persona_clause=enable_persona_clause
     )

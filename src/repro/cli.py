@@ -12,10 +12,14 @@ Subcommands cover the full pipeline on a spec file or a built-in example:
 * ``cost``       — the §8 message-cost comparison;
 * ``distributed``— the §9 distributed reduction (local decisions);
 * ``petri``      — the §7.4 translation and its coverability verdict;
-* ``sweep``      — random-topology studies (priority / trust / gap);
-* ``chaos``      — seeded fault-injection sweep of the safety guarantee;
+* ``sweep``      — random-topology studies (priority / trust / gap); takes
+  ``--engine {indexed,flat}`` to route verdicts through the compiled
+  flat-array core;
+* ``chaos``      — seeded fault-injection sweep of the safety guarantee
+  (also takes ``--engine``);
 * ``fuzz``       — differential + metamorphic conformance fuzzing of the
-  whole oracle stack (reduction / reference / Petri / simulator / spec);
+  whole oracle stack (reduction / reference / flat core / Petri /
+  simulator / spec);
 * ``lint``       — determinism/safety static analysis: AST rule passes over
   Python source plus the non-fatal warning tier over ``.exchange`` specs
   (exit 0 clean, 1 findings, 2 usage error);
@@ -37,6 +41,7 @@ import sys
 from typing import Callable
 
 from repro.analysis.cost import chain_cost_sweep, format_chain_table, static_cost
+from repro.core.flatcore import ENGINES
 from repro.core.indemnity import minimal_indemnity_plan, splittable_conjunctions
 from repro.core.problem import ExchangeProblem
 from repro.core.protocol import synthesize_protocol
@@ -85,6 +90,19 @@ def _add_problem_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("spec", nargs="?", help="path to a .exchange spec file")
     parser.add_argument(
         "--example", help="use a built-in example instead of a spec file"
+    )
+
+
+def _add_engine_arg(parser: argparse.ArgumentParser) -> None:
+    # argparse's ``choices`` rejects unknown engine names with exit code 2
+    # and a usage message — the same contract the library layer enforces
+    # with ReproError for programmatic callers.
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="indexed",
+        help="reduction engine: the indexed incremental engine, or the "
+        "compiled flat-array core (default: indexed)",
     )
 
 
@@ -238,19 +256,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     jobs = args.jobs if args.jobs > 0 else None  # 0 = all cores
     args.jobs = jobs
     if args.study == "priority":
-        for row in priority_sweep(samples=args.samples, processes=args.jobs):
+        for row in priority_sweep(
+            samples=args.samples, processes=args.jobs, engine=args.engine
+        ):
             print(
                 f"priority={row.priority_probability:4.2f}  feasible "
                 f"{row.feasible}/{row.samples} ({row.feasible_fraction:.0%})"
             )
     elif args.study == "trust":
-        for row in trust_sweep(samples=args.samples, processes=args.jobs):
+        for row in trust_sweep(
+            samples=args.samples, processes=args.jobs, engine=args.engine
+        ):
             print(
                 f"+{row.trust_edges_added} trust edges  unlocked "
                 f"{row.unlocked}/{row.samples} ({row.unlocked_fraction:.0%})"
             )
     else:
-        row = incompleteness_gap(samples=args.samples, processes=args.jobs)
+        row = incompleteness_gap(
+            samples=args.samples, processes=args.jobs, engine=args.engine
+        )
         print(
             f"samples={row.samples}  reduction-feasible={row.reduction_feasible}  "
             f"petri-coverable={row.petri_coverable}  gap={row.gap} "
@@ -278,6 +302,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         seed=args.seed,
         faults=faults,
         deadline=args.deadline,
+        engine=args.engine,
     )
     jobs = args.jobs if args.jobs > 0 else None  # 0 = all cores
     report = chaos_study(config, processes=jobs)
@@ -306,7 +331,10 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     )
 
     config = FuzzConfig(
-        cases=args.cases, seed=args.seed, simulate=not args.no_sim
+        cases=args.cases,
+        seed=args.seed,
+        simulate=not args.no_sim,
+        flat_arm=not args.no_flat_arm,
     )
     jobs = args.jobs if args.jobs > 0 else None  # 0 = all cores
     report = run_fuzz(config, processes=jobs)
@@ -423,6 +451,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="fan the study over N worker processes (0 = all cores)",
     )
+    _add_engine_arg(p)
     p.set_defaults(handler=_cmd_sweep)
 
     p = sub.add_parser(
@@ -451,6 +480,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="fan scenarios over N worker processes (0 = all cores)",
     )
     p.add_argument("--report", metavar="PATH", help="write the full JSON report here")
+    _add_engine_arg(p)
     p.set_defaults(handler=_cmd_chaos)
 
     p = sub.add_parser(
@@ -477,6 +507,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         default="fuzz_corpus",
         help="where shrunk counterexamples are written (on failure only)",
+    )
+    p.add_argument(
+        "--no-flat-arm",
+        action="store_true",
+        help="skip the compiled flat-core differential arm",
     )
     p.add_argument("--report", metavar="PATH", help="write the JSON report here")
     p.set_defaults(handler=_cmd_fuzz)

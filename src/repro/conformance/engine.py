@@ -25,7 +25,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.analysis.batch import parallel_map
+from repro.analysis.batch import effective_cpu_count, parallel_map
 from repro.conformance.corpus import load_corpus_file, write_corpus_file
 from repro.conformance.metamorphic import metamorphic_suite
 from repro.conformance.oracles import (
@@ -52,6 +52,7 @@ class FuzzConfig:
     simulate: bool = True
     max_principals: int = 10
     max_exchanges: int = 7
+    flat_arm: bool = True
 
 
 @dataclass(frozen=True)
@@ -63,6 +64,7 @@ class CaseSpec:
     simulate: bool = True
     max_principals: int = 10
     max_exchanges: int = 7
+    flat_arm: bool = True
 
 
 @dataclass(frozen=True)
@@ -119,6 +121,7 @@ def check_problem(
     problem: ExchangeProblem,
     seed: int = 0,
     run_simulation: bool = True,
+    flat_arm: bool = True,
 ) -> CrossCheckResult:
     """The full per-problem conformance suite (front end + oracles + MRs)."""
     discrepancies: list[Discrepancy] = []
@@ -154,7 +157,9 @@ def check_problem(
         else:
             subject = reloaded
 
-    result = cross_check(subject, seed=seed, run_simulation=run_simulation)
+    result = cross_check(
+        subject, seed=seed, run_simulation=run_simulation, flat_arm=flat_arm
+    )
     discrepancies.extend(result.discrepancies)
     discrepancies.extend(metamorphic_suite(subject, seed=seed))
     return CrossCheckResult(
@@ -166,7 +171,10 @@ def run_case(spec: CaseSpec) -> CaseResult:
     """Worker: one fully self-contained fuzz case."""
     problem = generate_case_problem(spec)
     result = check_problem(
-        problem, seed=spec.seed, run_simulation=spec.simulate
+        problem,
+        seed=spec.seed,
+        run_simulation=spec.simulate,
+        flat_arm=spec.flat_arm,
     )
     return CaseResult(
         index=spec.index,
@@ -188,6 +196,7 @@ def case_specs(config: FuzzConfig) -> list[CaseSpec]:
             simulate=config.simulate,
             max_principals=config.max_principals,
             max_exchanges=config.max_exchanges,
+            flat_arm=config.flat_arm,
         )
         for i in range(config.cases)
     ]
@@ -245,6 +254,8 @@ class FuzzReport:
         return {
             "cases": len(self.results),
             "seed": self.config.seed,
+            "flat_arm": self.config.flat_arm,
+            "process_cpus": effective_cpu_count(),
             "feasible": self.feasible_count,
             "petri_gap": self.gap_count,
             "simulated": self.simulated_count,

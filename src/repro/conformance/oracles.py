@@ -8,6 +8,11 @@ same problem and any disagreement outside the *documented* relations is a
   the **naive reference engine**
   (:mod:`repro.core.reduction_reference`) — must be step-for-step identical
   across every strategy and with the §4.2.3 persona clause on and off;
+* the **compiled flat core** (:mod:`repro.core.flatcore`) — a third
+  differential arm: the parity engine must match the incremental trace
+  step for step under the same settings, and the free-order verdict loop
+  must land on the same feasibility/steps/remaining/blockage counts (the
+  unique-normal-form claim of DESIGN.md §11, checked on every fuzz case);
 * **confluence** (§4.2) — the verdict and the residual-edge count must not
   depend on the strategy;
 * **Petri coverability** (§7.4) — reduction-feasible must imply coverable
@@ -32,6 +37,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro.core import flatcore
 from repro.core.execution import recover_execution
 from repro.core.problem import ExchangeProblem
 from repro.core.reduction import ReductionTrace, reduce_graph
@@ -66,11 +72,13 @@ class OracleVerdicts:
     simulated: bool
     simulation_safe: bool | None
     oversold: bool = False  # possession-blind verdict — documented limitation
+    flat_feasible: bool | None = None  # None when the flat arm was disabled
 
     def to_dict(self) -> dict[str, object]:
         return {
             "reduction": self.reduction_feasible,
             "reference": self.reference_feasible,
+            "flat": self.flat_feasible,
             "petri": self.petri_coverable,
             "petri_gap": self.petri_gap,
             "simulated": self.simulated,
@@ -137,17 +145,24 @@ def cross_check(
     problem: ExchangeProblem,
     seed: int = 0,
     run_simulation: bool = True,
+    flat_arm: bool = True,
 ) -> CrossCheckResult:
     """Run *problem* through every oracle; flag any disagreement.
 
     ``seed`` drives the ``random`` reduction strategy (both engines see an
     identically seeded stream).  ``run_simulation=False`` skips the §5
     replay — the shrinker uses this to keep its inner loop fast when the
-    discrepancy under reduction is not a simulation one.
+    discrepancy under reduction is not a simulation one.  ``flat_arm=False``
+    skips the compiled-core differential arm (it is on by default; every
+    fuzz case then certifies the flat engine against the other two).
     """
     discrepancies: list[Discrepancy] = []
     reference_feasible = False
     base: ReductionTrace | None = None
+    # Compile once per problem: SGEdge/node values are equal across fresh
+    # sequencing_graph() builds, so flat traces compare cleanly against
+    # traces over per-iteration graphs.
+    compiled = flatcore.compile_graph(problem.sequencing_graph()) if flat_arm else None
 
     for persona in (True, False):
         for strategy in STRATEGIES:
@@ -176,6 +191,26 @@ def cross_check(
                         f"remaining={len(reference.remaining)})",
                     )
                 )
+            if compiled is not None:
+                flat = flatcore.reduce_graph_compiled(
+                    compiled,
+                    strategy=strategy,
+                    rng=random.Random(seed),
+                    enable_persona_clause=persona,
+                )
+                if trace_key(flat) != trace_key(incremental):
+                    discrepancies.append(
+                        Discrepancy(
+                            "flat-divergence",
+                            f"strategy={strategy} persona={persona}: flat "
+                            f"(feasible={flat.feasible}, "
+                            f"steps={len(flat.steps)}, "
+                            f"remaining={len(flat.remaining)}) != incremental "
+                            f"(feasible={incremental.feasible}, "
+                            f"steps={len(incremental.steps)}, "
+                            f"remaining={len(incremental.remaining)})",
+                        )
+                    )
             if persona and strategy == "fifo":
                 base = incremental
                 reference_feasible = reference.feasible
@@ -195,6 +230,34 @@ def cross_check(
                         )
                     )
     assert base is not None
+
+    flat_feasible: bool | None = None
+    if compiled is not None:
+        # The free-order verdict loop against the fifo base: same normal
+        # form, so same counts — not just the same boolean.
+        flat_verdict = flatcore.check_feasibility_flat(compiled)
+        flat_feasible = flat_verdict.feasible
+        base_counts = (
+            base.feasible,
+            len(base.steps),
+            len(base.remaining),
+            len(base.blockages),
+        )
+        flat_counts = (
+            flat_verdict.feasible,
+            flat_verdict.steps,
+            flat_verdict.remaining,
+            flat_verdict.blockages,
+        )
+        if flat_counts != base_counts:
+            discrepancies.append(
+                Discrepancy(
+                    "flat-divergence",
+                    "free-order verdict loop disagrees with the indexed "
+                    f"engine: flat (feasible, steps, remaining, blockages)="
+                    f"{flat_counts} != indexed {base_counts}",
+                )
+            )
 
     oversold = bool(oversold_documents(problem))
     petri = exchange_completable(problem)
@@ -283,5 +346,6 @@ def cross_check(
         simulated=simulated,
         simulation_safe=simulation_safe,
         oversold=oversold,
+        flat_feasible=flat_feasible,
     )
     return CrossCheckResult(verdicts=verdicts, discrepancies=tuple(discrepancies))

@@ -7,6 +7,8 @@ Layered bottom-up:
 * interaction — interaction graphs (§3);
 * sequencing — sequencing graphs (§4.1);
 * reduction / feasibility — Rules #1/#2 and the §4.2.4 test;
+* flatcore — the compiled flat-array reduction core (compile → run →
+  decompile) and the packed batch arena;
 * execution — §5 execution-sequence recovery;
 * indemnity — §6 escrow planning;
 * protocol — per-party role synthesis for the simulator;
@@ -23,6 +25,17 @@ from repro.core.execution import (
     recover_execution,
 )
 from repro.core.feasibility import FeasibilityVerdict, Verdict, check_feasibility
+from repro.core.flatcore import (
+    ENGINES,
+    CompiledGraph,
+    FlatVerdict,
+    GraphArena,
+    check_feasibility_flat,
+    check_feasibility_flat_batch,
+    compile_graph,
+    reduce_graph_compiled,
+    reduce_graph_flat,
+)
 from repro.core.indemnity import (
     IndemnityOffer,
     IndemnityPlan,
@@ -94,6 +107,15 @@ __all__ = [
     "FeasibilityVerdict",
     "Verdict",
     "check_feasibility",
+    "ENGINES",
+    "CompiledGraph",
+    "FlatVerdict",
+    "GraphArena",
+    "check_feasibility_flat",
+    "check_feasibility_flat_batch",
+    "compile_graph",
+    "reduce_graph_compiled",
+    "reduce_graph_flat",
     "IndemnityOffer",
     "IndemnityPlan",
     "apply_plan",

@@ -1,0 +1,191 @@
+"""Pack N compiled problems into one arena and reduce them back-to-back.
+
+A Monte-Carlo sweep poses thousands of *small* problems, so per-problem
+Python overhead (scratch allocation, function dispatch, result boxing)
+dominates the actual rule applications.  The arena amortizes it: every
+problem's arrays are concatenated with node/edge ids shifted into one
+global id space, a single set of scratch counters is copied per
+:meth:`GraphArena.reduce_all` call, and the free-order verdict loop runs
+over each problem's disjoint id range in turn.  Because the ranges are
+disjoint, no cross-problem interference is possible — the packing is pure
+layout.
+
+Id-sum fields translate in O(1) per node: shifting every edge id by
+``base`` adds ``count * base`` to a sum over ``count`` live edges.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.core.flatcore.compiler import CompiledGraph, compile_graph
+from repro.core.flatcore.runtime import FlatVerdict, count_blockages, verdict_pass
+from repro.core.sequencing import SequencingGraph
+
+
+@dataclass(frozen=True)
+class GraphArena:
+    """N flattened problems in one global id space (read-only; reusable)."""
+
+    n_problems: int
+    e_base: array[int]  # len N+1: problem p owns edge ids [e_base[p], e_base[p+1])
+    c_base: array[int]
+    j_base: array[int]
+    edge_commitment: array[int]
+    edge_conjunction: array[int]
+    edge_red: bytearray
+    persona: bytearray
+    j_off: array[int]
+    j_adj: array[int]
+    cc0: array[int]
+    jc0: array[int]
+    rj0: array[int]
+    csum0: array[int]
+    jsum0: array[int]
+    jrsum0: array[int]
+    seeds_on: array[int]
+    seed_base_on: array[int]  # len N+1: CSR offsets into seeds_on per problem
+    seeds_off: array[int]
+    seed_base_off: array[int]
+
+    @classmethod
+    def from_graphs(
+        cls, graphs: Iterable[SequencingGraph | CompiledGraph]
+    ) -> GraphArena:
+        """Compile (if needed) and pack the given problems."""
+        compiled = [
+            g if isinstance(g, CompiledGraph) else compile_graph(g) for g in graphs
+        ]
+        e_base = array("i", [0])
+        c_base = array("i", [0])
+        j_base = array("i", [0])
+        ec: array[int] = array("i")
+        ej: array[int] = array("i")
+        red = bytearray()
+        per = bytearray()
+        j_off = array("i", [0])
+        j_adj: array[int] = array("i")
+        cc0: array[int] = array("i")
+        jc0: array[int] = array("i")
+        rj0: array[int] = array("i")
+        csum0: array[int] = array("q")
+        jsum0: array[int] = array("q")
+        jrsum0: array[int] = array("q")
+        seeds_on: array[int] = array("i")
+        seed_base_on = array("i", [0])
+        seeds_off: array[int] = array("i")
+        seed_base_off = array("i", [0])
+
+        eb = cb = jb = 0
+        for comp in compiled:
+            ec.extend(x + cb for x in comp.edge_commitment)
+            ej.extend(x + jb for x in comp.edge_conjunction)
+            red.extend(comp.edge_red)
+            per.extend(comp.persona)
+            j_off.extend(x + eb for x in comp.j_off[1:])
+            j_adj.extend(x + eb for x in comp.j_adj)
+            cc0.extend(comp.cc0)
+            jc0.extend(comp.jc0)
+            rj0.extend(comp.rj0)
+            # A sum over k live edge ids shifts by k * eb under re-basing.
+            csum0.extend(s + n * eb for s, n in zip(comp.csum0, comp.cc0))
+            jsum0.extend(s + n * eb for s, n in zip(comp.jsum0, comp.jc0))
+            jrsum0.extend(s + n * eb for s, n in zip(comp.jrsum0, comp.rj0))
+            seeds_on.extend(x + eb for x in comp.seeds_on)
+            seeds_off.extend(x + eb for x in comp.seeds_off)
+            eb += comp.n_edges
+            cb += comp.n_commitments
+            jb += comp.n_conjunctions
+            e_base.append(eb)
+            c_base.append(cb)
+            j_base.append(jb)
+            seed_base_on.append(len(seeds_on))
+            seed_base_off.append(len(seeds_off))
+
+        return cls(
+            n_problems=len(compiled),
+            e_base=e_base,
+            c_base=c_base,
+            j_base=j_base,
+            edge_commitment=ec,
+            edge_conjunction=ej,
+            edge_red=red,
+            persona=per,
+            j_off=j_off,
+            j_adj=j_adj,
+            cc0=cc0,
+            jc0=jc0,
+            rj0=rj0,
+            csum0=csum0,
+            jsum0=jsum0,
+            jrsum0=jrsum0,
+            seeds_on=seeds_on,
+            seed_base_on=seed_base_on,
+            seeds_off=seeds_off,
+            seed_base_off=seed_base_off,
+        )
+
+    def reduce_all(self, *, enable_persona_clause: bool = True) -> list[FlatVerdict]:
+        """Run the free-order verdict loop over every packed problem.
+
+        Scratch counters are copied once per call (slice assignment over the
+        whole arena), so the arena itself stays immutable and reusable.
+        """
+        n_e = len(self.edge_commitment)
+        ec = self.edge_commitment
+        ej = self.edge_conjunction
+        red = self.edge_red
+        per = self.persona if enable_persona_clause else bytearray(len(self.persona))
+        cc = array("i", self.cc0)
+        jc = array("i", self.jc0)
+        rj = array("i", self.rj0)
+        csum = array("q", self.csum0)
+        jsum = array("q", self.jsum0)
+        jrsum = array("q", self.jrsum0)
+        alive = bytearray(b"\x01") * n_e
+        elig = bytearray(n_e)
+        seeds = self.seeds_on if enable_persona_clause else self.seeds_off
+        seed_base = self.seed_base_on if enable_persona_clause else self.seed_base_off
+
+        verdicts: list[FlatVerdict] = []
+        for p in range(self.n_problems):
+            stack = list(seeds[seed_base[p] : seed_base[p + 1]])
+            for e in stack:
+                elig[e] = 1
+            verdict_pass(
+                ec, ej, red, per, self.j_off, self.j_adj,
+                cc, jc, rj, csum, jsum, jrsum, alive, elig, stack,
+            )
+            lo = self.e_base[p]
+            hi = self.e_base[p + 1]
+            remaining = alive.count(1, lo, hi)
+            blockages = (
+                count_blockages(ec, ej, red, per, cc, rj, alive, lo, hi)
+                if remaining
+                else 0
+            )
+            verdicts.append(
+                FlatVerdict(
+                    feasible=remaining == 0,
+                    steps=(hi - lo) - remaining,
+                    remaining=remaining,
+                    blockages=blockages,
+                )
+            )
+        return verdicts
+
+
+def check_feasibility_flat_batch(
+    graphs: Iterable[SequencingGraph | CompiledGraph],
+    *,
+    enable_persona_clause: bool = True,
+) -> list[FlatVerdict]:
+    """Compile N problems into one packed arena and reduce them all.
+
+    The batch analogue of :func:`~repro.core.flatcore.runtime.check_feasibility_flat`;
+    verdicts come back in input order.
+    """
+    arena = GraphArena.from_graphs(graphs)
+    return arena.reduce_all(enable_persona_clause=enable_persona_clause)

@@ -17,7 +17,8 @@ Rule catalogue (see DESIGN.md §10 for rationale and examples):
   sanctioned alternative and never flagged.
 * **DET002** — iteration over a ``set``/``frozenset`` expression inside an
   ordered-output sink (functions named like ``digest``/``describe``/
-  ``to_dict``/``render``…, or anything in ``viz/``) without an explicit
+  ``to_dict``/``render``/``payload``… — the last covering the flatcore
+  bench-artifact builders — or anything in ``viz/``) without an explicit
   ``sorted(...)``.  Set iteration order depends on ``PYTHONHASHSEED``, so it
   silently breaks cross-process digest equality.
 * **MUT001** — ``object.__setattr__`` on anything other than ``self``:
@@ -189,7 +190,7 @@ class UnseededNondeterminism(Rule):
 
 _SINK_NAME_RE = re.compile(
     r"digest|canonical|fingerprint|describe|to_dict|to_json|render|serialize"
-    r"|summary|__str__|_text$|_dot$|format"
+    r"|summary|__str__|_text$|_dot$|format|payload"
 )
 
 _ORDER_INSENSITIVE = frozenset(

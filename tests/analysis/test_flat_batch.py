@@ -1,0 +1,136 @@
+"""The flat engine in the batch pipeline + the single-core pool warning."""
+
+import warnings
+
+import pytest
+
+from repro.analysis import batch
+from repro.analysis.batch import (
+    batch_specs,
+    check_feasibility_batch,
+    effective_cpu_count,
+    parallel_map,
+)
+from repro.analysis.chaos_study import ChaosConfig, ChaosReport, chaos_study
+from repro.conformance.engine import FuzzConfig, run_fuzz
+from repro.core.indemnity import minimal_indemnity_plan
+from repro.errors import IndemnityError, ReproError
+from repro.workloads import RandomProblemConfig, figure7
+
+
+def _identity(x):
+    return x
+
+
+SPECS = batch_specs(
+    60,
+    RandomProblemConfig(n_principals=8, n_exchanges=5, priority_probability=0.5),
+    seed=11,
+)
+
+
+class TestFlatEngineBatch:
+    def test_flat_matches_indexed_serial(self):
+        indexed = check_feasibility_batch(SPECS, engine="indexed")
+        flat = check_feasibility_batch(SPECS, engine="flat")
+        assert flat == indexed
+        assert {v.feasible for v in flat} == {True, False}
+
+    def test_flat_matches_indexed_pooled(self):
+        serial = check_feasibility_batch(SPECS, engine="flat")
+        pooled = check_feasibility_batch(SPECS, engine="flat", processes=2)
+        assert pooled == serial
+
+    def test_flat_persona_ablation(self):
+        indexed = check_feasibility_batch(
+            SPECS[:20], engine="indexed", enable_persona_clause=False
+        )
+        flat = check_feasibility_batch(
+            SPECS[:20], engine="flat", enable_persona_clause=False
+        )
+        assert flat == indexed
+
+    def test_flat_chunksize_is_block_size(self):
+        # Any block size must give identical verdicts — blocks only change
+        # how problems pack into arenas, never what comes out.
+        baseline = check_feasibility_batch(SPECS[:30], engine="flat")
+        for block in (1, 7, 64):
+            assert (
+                check_feasibility_batch(SPECS[:30], engine="flat", chunksize=block)
+                == baseline
+            )
+
+    def test_unknown_engine_raises(self):
+        with pytest.raises(ReproError, match="unknown engine 'bogus'"):
+            check_feasibility_batch(SPECS[:2], engine="bogus")
+
+    def test_indemnity_unknown_engine_raises(self):
+        with pytest.raises(IndemnityError, match="unknown engine"):
+            minimal_indemnity_plan(figure7(), engine="warp")
+
+    def test_indemnity_flat_engine_matches(self):
+        indexed = minimal_indemnity_plan(figure7())
+        flat = minimal_indemnity_plan(figure7(), engine="flat")
+        assert flat.total_cents == indexed.total_cents
+        assert flat.feasible == indexed.feasible
+
+
+class TestSingleCoreWarning:
+    ITEMS = list(range(32))
+
+    def test_pool_on_single_core_host_warns(self, monkeypatch):
+        monkeypatch.setattr(batch, "effective_cpu_count", lambda: 1)
+        with pytest.warns(RuntimeWarning, match="single CPU"):
+            result = parallel_map(_identity, self.ITEMS, processes=2)
+        assert result == self.ITEMS  # honored, just warned about
+
+    def test_serial_path_never_warns(self, monkeypatch):
+        monkeypatch.setattr(batch, "effective_cpu_count", lambda: 1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert parallel_map(_identity, self.ITEMS, processes=1) == self.ITEMS
+            # processes=None on a single-core host resolves to 1 worker:
+            # serial, silent.
+            assert parallel_map(_identity, self.ITEMS) == self.ITEMS
+
+    def test_multi_core_host_never_warns(self, monkeypatch):
+        monkeypatch.setattr(batch, "effective_cpu_count", lambda: 4)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert parallel_map(_identity, self.ITEMS, processes=2) == self.ITEMS
+
+    def test_effective_cpu_count_is_positive(self):
+        assert effective_cpu_count() >= 1
+
+
+class TestCpuCountInArtifacts:
+    def test_chaos_report_records_engine_and_cpus(self):
+        report = chaos_study(ChaosConfig(scenarios=10, seed=3))
+        data = report.to_dict()
+        assert data["engine"] == "indexed"
+        assert data["process_cpus"] == effective_cpu_count()
+
+    def test_chaos_flat_engine_matches_indexed(self):
+        indexed = chaos_study(ChaosConfig(scenarios=12, seed=3))
+        flat = chaos_study(ChaosConfig(scenarios=12, seed=3, engine="flat"))
+        assert flat.to_dict()["engine"] == "flat"
+        assert [v.to_dict() for v in flat.verdicts] == [
+            v.to_dict() for v in indexed.verdicts
+        ]
+
+    def test_chaos_unknown_engine_raises(self):
+        with pytest.raises(ReproError, match="unknown engine"):
+            chaos_study(ChaosConfig(scenarios=2, engine="bogus"))
+
+    def test_fuzz_report_records_cpus_and_flat_arm(self):
+        report = run_fuzz(FuzzConfig(cases=4, simulate=False), processes=1)
+        data = report.to_dict()
+        assert data["process_cpus"] == effective_cpu_count()
+        assert data["flat_arm"] is True
+
+
+def test_chaos_report_roundtrips_with_engine(tmp_path):
+    report = chaos_study(ChaosConfig(scenarios=6, seed=9, engine="flat"))
+    assert isinstance(report, ChaosReport)
+    keys = set(report.to_dict())
+    assert {"engine", "process_cpus", "verdicts", "violation_count"} <= keys

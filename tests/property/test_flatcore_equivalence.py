@@ -1,0 +1,180 @@
+"""The compiled flat core against the indexed engine, trace for trace.
+
+The flat core compiles a sequencing graph into integer arrays, reduces in a
+tight worklist loop, and decompiles back into a
+:class:`~repro.core.reduction.ReductionTrace`.  The contract is *identity*,
+not mere agreement: over every corpus fixture, every paper workload, and
+hundreds of random topologies — across all strategies and with the §4.2.3
+persona clause both on and off — the decompiled trace must be value-equal to
+``reduce_graph()``'s, the free-order verdict loop must land on the same
+(feasible, steps, remaining, blockages) counts, and the packed batch arena
+must match the one-graph-at-a-time path.
+"""
+
+import glob
+import os
+import random
+
+import pytest
+
+from repro.conformance.corpus import load_corpus_file
+from repro.conformance.oracles import trace_key
+from repro.core.flatcore import (
+    GraphArena,
+    check_feasibility_flat,
+    check_feasibility_flat_batch,
+    compile_graph,
+    reduce_graph_compiled,
+    reduce_graph_flat,
+)
+from repro.core.reduction import reduce_graph
+from repro.workloads import (
+    RandomProblemConfig,
+    broker_bundle,
+    example1,
+    example2,
+    example2_broker_trusts_source,
+    example2_source_trusts_broker,
+    oversale,
+    random_problem,
+    resale_chain,
+    star,
+)
+
+STRATEGIES = ("fifo", "lifo", "random")
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "..", "corpus")
+CORPUS_FILES = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.json")))
+
+WORKLOADS = {
+    "example1": example1,
+    "example2": example2,
+    "example2-broker-trusts-source": example2_broker_trusts_source,
+    "example2-source-trusts-broker": example2_source_trusts_broker,
+    "resale-chain-2": lambda: resale_chain(2),
+    "resale-chain-6": lambda: resale_chain(6),
+    "insolvent-chain-3": lambda: resale_chain(3, solvent=False),
+    "star-3": lambda: star(3),
+    "star-5": lambda: star(5),
+    "oversale": oversale,
+    "bundle-4": lambda: broker_bundle(4, (10.0, 20.0, 30.0, 40.0)),
+}
+
+
+def assert_flat_matches_indexed(graph, *, rng_seed=0):
+    """Full equivalence: every strategy, persona on and off, plus verdicts."""
+    compiled = compile_graph(graph)
+    for persona in (True, False):
+        for strategy in STRATEGIES:
+            indexed = reduce_graph(
+                graph,
+                strategy=strategy,
+                rng=random.Random(rng_seed),
+                enable_persona_clause=persona,
+            )
+            flat = reduce_graph_compiled(
+                compiled,
+                strategy=strategy,
+                rng=random.Random(rng_seed),
+                enable_persona_clause=persona,
+            )
+            assert trace_key(flat) == trace_key(indexed), (
+                f"strategy={strategy} persona={persona}"
+            )
+        # The free-order verdict loop reaches the same normal form.
+        fifo = reduce_graph(graph, enable_persona_clause=persona)
+        verdict = check_feasibility_flat(compiled, enable_persona_clause=persona)
+        assert (
+            verdict.feasible,
+            verdict.steps,
+            verdict.remaining,
+            verdict.blockages,
+        ) == (
+            fifo.feasible,
+            len(fifo.steps),
+            len(fifo.remaining),
+            len(fifo.blockages),
+        ), f"persona={persona}"
+    return reduce_graph(graph).feasible
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS_FILES, ids=[os.path.basename(p) for p in CORPUS_FILES]
+)
+def test_corpus_fixtures(path):
+    problem = load_corpus_file(path).problem
+    assert_flat_matches_indexed(problem.sequencing_graph())
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS), ids=sorted(WORKLOADS))
+def test_paper_workloads(name):
+    graph = WORKLOADS[name]().sequencing_graph()
+    assert_flat_matches_indexed(graph, rng_seed=17)
+
+
+def test_infeasible_workloads_include_blockages():
+    # The blockage diagnosis must survive the decompiler, not just counts.
+    for problem in (example2(), resale_chain(3, solvent=False)):
+        graph = problem.sequencing_graph()
+        indexed = reduce_graph(graph)
+        flat = reduce_graph_flat(graph)
+        assert not flat.feasible
+        assert flat.blockages == indexed.blockages
+        assert flat.blockages
+
+
+def _random_graph(seed):
+    config = RandomProblemConfig(
+        n_principals=9,
+        n_exchanges=7,
+        priority_probability=(0.0, 0.25, 0.5, 0.75, 1.0)[seed % 5],
+        allow_cycles=True,
+        hub_probability=0.6 if seed % 3 == 0 else 0.0,
+    )
+    problem = random_problem(config, seed=seed)
+    rng = random.Random(seed * 31 + 7)
+    principals = list(problem.interaction.principals)
+    for _ in range(seed % 5):
+        if len(principals) < 2:
+            break
+        truster, trustee = rng.sample(principals, 2)
+        problem.trust.add(truster, trustee)
+    return problem.sequencing_graph()
+
+
+@pytest.mark.parametrize("block", range(8))
+def test_random_topologies(block):
+    # 200 graphs in 8 parametrized blocks of 25: trust edges, priorities,
+    # hubs, cycles — every strategy, persona on and off.
+    for seed in range(block * 25, (block + 1) * 25):
+        assert_flat_matches_indexed(_random_graph(seed), rng_seed=seed)
+
+
+def test_random_sweep_covers_both_verdicts():
+    verdicts = {assert_flat_matches_indexed(_random_graph(s)) for s in range(40)}
+    assert verdicts == {True, False}, (
+        "the random sweep must exercise feasible AND infeasible graphs"
+    )
+
+
+class TestBatchArena:
+    def test_arena_matches_singles(self):
+        graphs = [_random_graph(s) for s in range(30)]
+        graphs += [w().sequencing_graph() for w in WORKLOADS.values()]
+        for persona in (True, False):
+            singles = [
+                check_feasibility_flat(g, enable_persona_clause=persona)
+                for g in graphs
+            ]
+            batched = check_feasibility_flat_batch(
+                graphs, enable_persona_clause=persona
+            )
+            assert batched == singles
+
+    def test_arena_accepts_precompiled_graphs(self):
+        graphs = [_random_graph(s) for s in range(8)]
+        arena = GraphArena.from_graphs([compile_graph(g) for g in graphs])
+        assert arena.reduce_all() == check_feasibility_flat_batch(graphs)
+
+    def test_empty_batch(self):
+        assert check_feasibility_flat_batch([]) == []

@@ -1,0 +1,18 @@
+"""Fixture: exactly one DET002 violation (set iteration in a payload sink).
+
+``*_payload`` names are serialization sinks since the flatcore bench
+artifact builders (:mod:`repro.core.flatcore.report`) adopted the suffix —
+hash order must never leak into ``BENCH_flatcore.json``.
+"""
+
+
+def bench_payload(sizes: list[int]) -> dict[str, list[int]]:
+    """Deduplicating through a set and emitting it unsorted leaks hash order."""
+    seen = set(sizes)
+    rows = [size * 2 for size in seen]  # DET002 expected here
+    return {"rows": rows}
+
+
+def safe_payload(sizes: list[int]) -> dict[str, list[int]]:
+    """The sanctioned form: an explicit sorted(...) wrapper."""
+    return {"rows": [size * 2 for size in sorted(set(sizes))]}

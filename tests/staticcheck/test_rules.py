@@ -32,6 +32,10 @@ RULE_FIXTURES = {
     "EXC001": FIXTURES / "exc001_control_flow.py",
 }
 
+# DET002's sink inference also covers ``*payload*`` names (the flatcore
+# bench-artifact builders); a second fixture pins that extension.
+PAYLOAD_FIXTURE = FIXTURES / "det002_payload_sink.py"
+
 
 def expected_line(fixture: Path, code: str) -> int:
     """The 1-based line carrying the deliberate violation marker."""
@@ -60,7 +64,14 @@ class TestEveryRuleFires:
 
     def test_whole_fixture_tree_yields_one_finding_per_rule(self):
         findings = lint_paths([str(FIXTURES)])
-        assert sorted(f.rule for f in findings) == sorted(RULE_FIXTURES)
+        expected = sorted(list(RULE_FIXTURES) + ["DET002"])  # + payload fixture
+        assert sorted(f.rule for f in findings) == expected
+
+    def test_payload_sink_fixture_fires_exactly_once(self):
+        findings = lint_paths([str(PAYLOAD_FIXTURE)])
+        assert [f.rule for f in findings] == ["DET002"]
+        assert findings[0].line == expected_line(PAYLOAD_FIXTURE, "DET002")
+        assert findings[0].severity is Severity.ERROR
 
     def test_src_is_clean_at_head(self):
         assert lint_paths([SRC]) == []
