@@ -47,7 +47,9 @@ from repro.core.flatcore import (
     reduce_graph_compiled,
 )
 from repro.core.flatcore.report import bench_payload
+from repro.core.flatcore.runtime import decompile, run_reduction
 from repro.core.reduction import reduce_graph
+from repro.obs import PhaseTimer
 from repro.workloads import RandomProblemConfig, resale_chain
 
 
@@ -87,6 +89,35 @@ def bench_sizes(sizes: list[int], repeat: int):
             file=sys.stderr,
         )
     return graph_sizes, indexed, compile_s, verdict, trace
+
+
+def bench_phases(sizes: list[int], repeat: int) -> dict[int, dict[str, float]]:
+    """Split the flat trace path into compile/run/decompile phases.
+
+    Uses the sanctioned :class:`~repro.obs.clock.PhaseTimer` (the phases
+    accumulate over *repeat* runs; reported values are mean seconds per run)
+    so the artifact shows where a regression lands, not just that one did.
+    """
+    out: dict[int, dict[str, float]] = {}
+    for n in sizes:
+        problem = resale_chain(n, retail=float(max(1000, 2 * n)))
+        sg = problem.sequencing_graph()
+        phases = PhaseTimer()
+        for _ in range(repeat):
+            with phases.phase("compile"):
+                compiled = compile_graph(sg)
+            with phases.phase("run"):
+                run = run_reduction(compiled)
+            with phases.phase("decompile"):
+                decompile(compiled, run)
+        out[n] = {
+            name: seconds / repeat for name, seconds in phases.as_dict().items()
+        }
+        parts = "  ".join(
+            f"{name}={seconds * 1e3:8.2f}ms" for name, seconds in out[n].items()
+        )
+        print(f"n={n:>6} phases: {parts}", file=sys.stderr)
+    return out
 
 
 def bench_batch(problems: int, repeat: int) -> tuple[float, float]:
@@ -138,6 +169,7 @@ def main(argv: list[str] | None = None) -> int:
     sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
 
     graph_sizes, indexed, compile_s, verdict, trace = bench_sizes(sizes, args.repeat)
+    phase_seconds = bench_phases(sizes, args.repeat)
     indexed_pps, flat_pps = bench_batch(args.batch, max(1, args.repeat // 2))
     print(
         f"batch of {args.batch}: indexed {indexed_pps:,.0f} problems/s, "
@@ -155,6 +187,7 @@ def main(argv: list[str] | None = None) -> int:
         compile_seconds=compile_s,
         flat_verdict_seconds=verdict,
         flat_trace_seconds=trace,
+        phase_seconds=phase_seconds,
         batch_problems=args.batch,
         batch_indexed_problems_per_second=round(indexed_pps, 1),
         batch_flat_problems_per_second=round(flat_pps, 1),

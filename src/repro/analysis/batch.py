@@ -42,6 +42,8 @@ import random
 from repro.core.flatcore import ENGINES, check_feasibility_flat_batch
 from repro.core.problem import ExchangeProblem
 from repro.errors import ReproError
+from repro.obs.metrics import MetricsSnapshot, merge_snapshots
+from repro.obs.runtime import metrics_scope
 from repro.workloads.random_graphs import RandomProblemConfig, random_problem
 
 T = TypeVar("T")
@@ -109,6 +111,38 @@ def parallel_map(
         chunksize = _auto_chunksize(len(items), workers)
     with ProcessPoolExecutor(max_workers=workers) as pool:
         return list(pool.map(fn, items, chunksize=chunksize))
+
+
+def _instrumented_call(item: T, fn: Callable[[T], R]) -> tuple[R, MetricsSnapshot]:
+    """Run one work item inside a fresh metrics-only observability scope."""
+    with metrics_scope() as tracer:
+        result = fn(item)
+    return result, tracer.metrics.snapshot()
+
+
+def instrumented_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    *,
+    processes: int | None = None,
+    chunksize: int | None = None,
+) -> tuple[list[R], MetricsSnapshot]:
+    """:func:`parallel_map` plus deterministic per-worker metrics merging.
+
+    Every item runs inside its own metrics-only tracer scope — in this
+    process on the serial path, worker-side on the pooled path — and the
+    per-item snapshots come back with the results and are folded **in input
+    order**.  Counters and histograms merge by sum and gauges by max (all
+    order-independent), so the merged snapshot and its
+    :func:`~repro.obs.metrics.snapshot_digest` are byte-identical between
+    serial and ``--jobs`` execution: the same contract the fuzz digest
+    already makes for verdicts, extended to observability.
+    """
+    wrapped = partial(_instrumented_call, fn=fn)
+    pairs = parallel_map(wrapped, items, processes=processes, chunksize=chunksize)
+    results = [result for result, _ in pairs]
+    merged = merge_snapshots([snapshot for _, snapshot in pairs])
+    return results, merged
 
 
 @dataclass(frozen=True)

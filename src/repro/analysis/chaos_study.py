@@ -34,10 +34,12 @@ from dataclasses import dataclass, field
 
 import random
 
-from repro.analysis.batch import ProblemSpec, effective_cpu_count, parallel_map
+from repro.analysis.batch import ProblemSpec, effective_cpu_count, instrumented_map
 from repro.baselines.direct import direct_exchange_under_faults
 from repro.core.flatcore import ENGINES, check_feasibility_flat
 from repro.errors import ReproError
+from repro.obs.metrics import MetricsSnapshot, snapshot_digest
+from repro.obs.runtime import tracing
 from repro.sim.faults import FaultConfig, random_fault_plan
 from repro.sim.runtime import Simulation
 from repro.sim.safety import evaluate_safety
@@ -86,7 +88,14 @@ class ChaosScenario:
 
 @dataclass(frozen=True)
 class ChaosVerdict:
-    """One scenario's outcome, flattened for transport off a worker."""
+    """One scenario's outcome, flattened for transport off a worker.
+
+    ``message_trace`` is populated only for violating scenarios: the worker
+    deterministically re-runs the scenario under span tracing and attaches
+    the causal envelope log (every send/drop/retransmit/deliver, in event
+    order), so a violation arrives with the wire's full story, not just a
+    digest.
+    """
 
     index: int
     problem_seed: float
@@ -109,6 +118,7 @@ class ChaosVerdict:
     quiescent: bool
     duration: float
     baseline_ok: bool
+    message_trace: tuple[str, ...] = ()
 
     def to_dict(self) -> dict:
         return {
@@ -133,6 +143,7 @@ class ChaosVerdict:
             "quiescent": self.quiescent,
             "duration": self.duration,
             "baseline_ok": self.baseline_ok,
+            "message_trace": list(self.message_trace),
         }
 
 
@@ -206,6 +217,29 @@ def _run_scenario(scenario: ChaosScenario) -> ChaosVerdict:
         if v.party.name not in excluded
         for reason in v.reasons
     )
+    message_trace: tuple[str, ...] = ()
+    if violations:
+        # A violation is worth a second, traced run: everything is a pure
+        # function of the seeds, so the replay reproduces the run exactly
+        # and the causal envelope log explains what the wire did to it.
+        with tracing():
+            replay_plan = random_fault_plan(
+                principals=[p.name for p in problem.interaction.principals],
+                trusted=[t.name for t in problem.interaction.trusted_components],
+                seed=scenario.fault_seed,
+                config=cfg.faults,
+            )
+            replay = Simulation.from_problem(
+                problem,
+                latency=cfg.latency,
+                deadline=cfg.deadline,
+                working_capital_cents=cfg.working_capital_cents,
+                fault_plan=replay_plan,
+                seed=scenario.problem_seed,
+            )
+            replay.run(max_time=cfg.max_time)
+            if replay.network.message_obs is not None:
+                message_trace = replay.network.message_obs.trace_lines()
     return ChaosVerdict(
         index=scenario.index,
         problem_seed=scenario.problem_seed,
@@ -230,15 +264,21 @@ def _run_scenario(scenario: ChaosScenario) -> ChaosVerdict:
         quiescent=result.quiescent,
         duration=result.duration,
         baseline_ok=baseline.all_ok,
+        message_trace=message_trace,
     )
 
 
 @dataclass(frozen=True)
 class ChaosReport:
-    """Aggregated verdicts for one sweep."""
+    """Aggregated verdicts for one sweep.
+
+    ``metrics`` is the merged observability snapshot over every scenario;
+    its digest is identical between serial and pooled sweeps.
+    """
 
     config: ChaosConfig
     verdicts: tuple[ChaosVerdict, ...]
+    metrics: MetricsSnapshot = ()
 
     # ------------------------------------------------------------- aggregates
 
@@ -317,7 +357,13 @@ class ChaosReport:
                 f"(problem_seed={v.problem_seed!r}, fault_seed={v.fault_seed}, "
                 f"digest={v.fault_digest}): " + "; ".join(v.violations)
             )
+            lines.extend(f"    {line}" for line in v.message_trace)
+        lines.append(f"  metrics digest:       {self.metrics_digest()}")
         return lines
+
+    def metrics_digest(self) -> str:
+        """Hash of the merged observability metrics (serial == pooled)."""
+        return snapshot_digest(self.metrics)
 
     def to_dict(self) -> dict:
         return {
@@ -332,6 +378,7 @@ class ChaosReport:
             "baseline_violations": self.baseline_violations,
             "differential_ok": self.differential_ok,
             "verdicts": [v.to_dict() for v in self.verdicts],
+            "metrics_digest": self.metrics_digest(),
         }
 
 
@@ -365,10 +412,10 @@ def chaos_study(
         raise ReproError(
             f"unknown engine {config.engine!r}: expected one of {', '.join(ENGINES)}"
         )
-    verdicts = parallel_map(
+    verdicts, metrics = instrumented_map(
         _run_scenario,
         chaos_scenarios(config),
         processes=processes,
         chunksize=chunksize,
     )
-    return ChaosReport(config=config, verdicts=tuple(verdicts))
+    return ChaosReport(config=config, verdicts=tuple(verdicts), metrics=metrics)

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from repro.baselines.direct import direct_message_count, mediated_message_count
 from repro.baselines.universal_intermediary import universal_message_count
 from repro.core.problem import ExchangeProblem
+from repro.obs.runtime import active as _active_tracer
 from repro.sim.runtime import simulate
 from repro.workloads.chains import resale_chain
 
@@ -43,6 +44,9 @@ class MessageCost:
 def static_cost(problem: ExchangeProblem) -> MessageCost:
     """Apply the §8 static model to a problem's interaction graph."""
     n = len(problem.interaction.trusted_components)
+    obs = _active_tracer()
+    if obs is not None:
+        obs.metrics.inc("analysis.cost.static_evaluations")
     return MessageCost(
         problem_name=problem.name,
         n_exchanges=n,
@@ -67,8 +71,16 @@ class MeasuredCost:
 
 
 def measured_cost(problem: ExchangeProblem) -> MeasuredCost:
-    """Run the synthesized protocol honestly and count deliveries."""
+    """Run the synthesized protocol honestly and count deliveries.
+
+    Under an active observability scope the delivery counts also accumulate
+    in the ``analysis.cost.transfers``/``analysis.cost.notifies`` counters.
+    """
     result = simulate(problem)
+    obs = _active_tracer()
+    if obs is not None:
+        obs.metrics.inc("analysis.cost.transfers", result.stats.transfers)
+        obs.metrics.inc("analysis.cost.notifies", result.stats.notifies)
     return MeasuredCost(
         problem_name=problem.name,
         transfers=result.stats.transfers,

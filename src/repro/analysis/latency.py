@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.problem import ExchangeProblem
+from repro.obs.runtime import active as _active_tracer
 from repro.sim.runtime import simulate
 from repro.workloads.chains import resale_chain
 
@@ -32,8 +33,17 @@ def universal_latency() -> float:
 
 
 def measured_latency(problem: ExchangeProblem, latency: float = 1.0) -> float:
-    """Critical path of the synthesized protocol (simulator quiescence)."""
-    return simulate(problem, latency=latency).duration
+    """Critical path of the synthesized protocol (simulator quiescence).
+
+    Under an active observability scope the measured duration also lands in
+    the ``analysis.latency.duration`` histogram (the simulator separately
+    rolls up its own ``sim.*``/``net.*`` instruments).
+    """
+    duration = simulate(problem, latency=latency).duration
+    obs = _active_tracer()
+    if obs is not None:
+        obs.metrics.histogram("analysis.latency.duration").observe(duration)
+    return duration
 
 
 @dataclass(frozen=True)
@@ -67,6 +77,9 @@ def chain_latency_sweep(max_brokers: int = 6, retail: float = 100.0) -> list[Lat
                 direct=direct_latency(),
             )
         )
+    obs = _active_tracer()
+    if obs is not None:
+        obs.metrics.inc("analysis.latency.chain_rows", len(rows))
     return rows
 
 

@@ -23,7 +23,17 @@ Subcommands cover the full pipeline on a spec file or a built-in example:
 * ``lint``       — determinism/safety static analysis: AST rule passes over
   Python source plus the non-fatal warning tier over ``.exchange`` specs
   (exit 0 clean, 1 findings, 2 usage error);
+* ``trace``      — run the reduce/verdict/simulate pipeline under the
+  deterministic tracer and print the span tree (or ``--flame`` cumulative
+  view, or ``--json`` JSONL records); the printed span digest is
+  byte-identical across replays of the same input;
+* ``profile``    — engine-vs-engine hot-rule table (indexed vs compiled
+  flat core) over a seeded random workload, wall time via the sanctioned
+  timer API;
 * ``examples``   — list the built-in fixtures.
+
+``sweep``, ``chaos``, and ``fuzz`` additionally take ``--trace-out PATH``
+to write the run's merged observability metrics as JSONL.
 
 Examples::
 
@@ -40,6 +50,7 @@ import argparse
 import sys
 from typing import Callable
 
+from repro.analysis.batch import effective_cpu_count
 from repro.analysis.cost import chain_cost_sweep, format_chain_table, static_cost
 from repro.core.flatcore import ENGINES
 from repro.core.indemnity import minimal_indemnity_plan, splittable_conjunctions
@@ -90,6 +101,14 @@ def _add_problem_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("spec", nargs="?", help="path to a .exchange spec file")
     parser.add_argument(
         "--example", help="use a built-in example instead of a spec file"
+    )
+
+
+def _add_trace_out_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="write the run's merged observability metrics as JSONL",
     )
 
 
@@ -247,14 +266,28 @@ def _cmd_petri(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    jobs = args.jobs if args.jobs > 0 else None  # 0 = all cores
+    args.jobs = jobs
+    if args.trace_out:
+        from repro.obs import metric_records, metrics_scope, write_jsonl
+
+        # The scope captures in-process work; pooled workers keep their own
+        # tracers, so run with --jobs 1 for a complete capture.
+        with metrics_scope() as tracer:
+            code = _run_sweep(args)
+        write_jsonl(args.trace_out, metric_records(tracer))
+        print(f"wrote {args.trace_out}")
+        return code
+    return _run_sweep(args)
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
     from repro.analysis.feasibility_study import (
         incompleteness_gap,
         priority_sweep,
         trust_sweep,
     )
 
-    jobs = args.jobs if args.jobs > 0 else None  # 0 = all cores
-    args.jobs = jobs
     if args.study == "priority":
         for row in priority_sweep(
             samples=args.samples, processes=args.jobs, engine=args.engine
@@ -312,6 +345,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         with open(args.report, "w", encoding="utf-8") as fh:
             json.dump(report.to_dict(), fh, indent=2)
         print(f"wrote {args.report}")
+    if args.trace_out:
+        from repro.obs import snapshot_records, write_jsonl
+
+        write_jsonl(args.trace_out, snapshot_records(report.metrics))
+        print(f"wrote {args.trace_out}")
     if not report.differential_ok:
         print(
             "warning: direct baseline showed no harm — "
@@ -344,6 +382,11 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         with open(args.report, "w", encoding="utf-8") as fh:
             json.dump(report.to_dict(), fh, indent=2)
         print(f"wrote {args.report}")
+    if args.trace_out:
+        from repro.obs import snapshot_records, write_jsonl
+
+        write_jsonl(args.trace_out, snapshot_records(report.metrics))
+        print(f"wrote {args.trace_out}")
     if report.discrepant:
         for path in shrink_counterexamples(report, args.corpus):
             print(f"wrote counterexample {path}", file=sys.stderr)
@@ -371,6 +414,115 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         for line in render_human(findings, fix_suggestions=args.fix_suggestions):
             print(line)
     return 1 if error_count(findings) else 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core import flatcore
+    from repro.core.reduction import reduce_graph
+    from repro.obs import (
+        metric_records,
+        render_flame,
+        render_tree,
+        span_digest,
+        span_records,
+        to_jsonl,
+        tracing,
+        write_jsonl,
+    )
+
+    if args.corpus_file is not None:
+        from repro.conformance.corpus import load_corpus_file
+
+        problem = load_corpus_file(args.corpus_file).problem
+    else:
+        problem = _load_problem(args)
+
+    with tracing() as tracer:
+        trace = reduce_graph(problem.sequencing_graph())
+        compiled = flatcore.compile_graph(problem.sequencing_graph())
+        flatcore.check_feasibility_flat(compiled)
+        if trace.feasible and not args.no_sim:
+            simulate(problem)
+
+    records = span_records(tracer) + metric_records(tracer)
+    digest = span_digest(tracer)
+    if args.out:
+        write_jsonl(args.out, records)
+    if args.json:
+        sys.stdout.write(to_jsonl(records))
+        print(f"span digest: {digest}", file=sys.stderr)
+    else:
+        print(render_flame(tracer) if args.flame else render_tree(tracer))
+        print(f"span digest: {digest}")
+    if args.out:
+        print(f"wrote {args.out}", file=sys.stderr if args.json else sys.stdout)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import random
+
+    from repro.core import flatcore
+    from repro.core.reduction import reduce_graph
+    from repro.obs import WallTimer, metrics_scope
+
+    rng = random.Random(args.seed)
+    problems = [
+        _random_profile_problem(rng.randrange(2**31)) for _ in range(args.samples)
+    ]
+
+    tables: dict[str, dict[str, object]] = {}
+    for engine in ("indexed", "flat"):
+        timer = WallTimer()
+        with metrics_scope() as tracer, timer:
+            for problem in problems:
+                graph = problem.sequencing_graph()
+                if engine == "indexed":
+                    reduce_graph(graph)
+                else:
+                    flatcore.reduce_graph_compiled(flatcore.compile_graph(graph))
+        stats = tracer.metrics.to_dict()
+        stats["wall_seconds"] = timer.seconds
+        tables[engine] = stats
+
+    # The flat core's free-order verdict loop has no indexed twin; time it
+    # on its own line rather than folding it into the comparison table.
+    verdict_timer = WallTimer()
+    with metrics_scope() as tracer, verdict_timer:
+        for problem in problems:
+            flatcore.check_feasibility_flat(flatcore.compile_graph(problem.sequencing_graph()))
+    free_order_steps = tracer.metrics.to_dict().get("reduction.free_order_steps", 0)
+
+    print(
+        f"profile: {args.samples} problem(s), seed {args.seed} "
+        f"(cpus: {effective_cpu_count()})"
+    )
+    rows = [
+        ("wall seconds", lambda s: f"{s['wall_seconds']:.3f}"),
+        ("firings rule1", lambda s: f"{s.get('reduction.firings.rule1', 0)}"),
+        ("firings rule2", lambda s: f"{s.get('reduction.firings.rule2', 0)}"),
+        ("persona waivers", lambda s: f"{s.get('reduction.persona_waivers', 0)}"),
+        (
+            "verdict pass/fail",
+            lambda s: f"{s.get('verdict.pass', 0)}/{s.get('verdict.fail', 0)}",
+        ),
+    ]
+    print(f"{'metric':<20} {'indexed':>12} {'flat':>12}")
+    for label, fmt in rows:
+        print(f"{label:<20} {fmt(tables['indexed']):>12} {fmt(tables['flat']):>12}")
+    print(
+        f"flat free-order verdict loop: {verdict_timer.seconds:.3f}s, "
+        f"{free_order_steps} step(s)"
+    )
+    return 0
+
+
+def _random_profile_problem(seed: int) -> ExchangeProblem:
+    from repro.workloads.random_graphs import RandomProblemConfig, random_problem
+
+    return random_problem(
+        RandomProblemConfig(n_principals=8, n_exchanges=5), seed=seed
+    )
 
 
 def _cmd_examples(_args: argparse.Namespace) -> int:
@@ -452,6 +604,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="fan the study over N worker processes (0 = all cores)",
     )
     _add_engine_arg(p)
+    _add_trace_out_arg(p)
     p.set_defaults(handler=_cmd_sweep)
 
     p = sub.add_parser(
@@ -481,6 +634,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--report", metavar="PATH", help="write the full JSON report here")
     _add_engine_arg(p)
+    _add_trace_out_arg(p)
     p.set_defaults(handler=_cmd_chaos)
 
     p = sub.add_parser(
@@ -514,6 +668,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the compiled flat-core differential arm",
     )
     p.add_argument("--report", metavar="PATH", help="write the JSON report here")
+    _add_trace_out_arg(p)
     p.set_defaults(handler=_cmd_fuzz)
 
     p = sub.add_parser(
@@ -540,6 +695,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule codes to run (default: every rule)",
     )
     p.set_defaults(handler=_cmd_lint)
+
+    p = sub.add_parser(
+        "trace",
+        help="run reduce/verdict/simulate under the deterministic tracer "
+        "and print the span tree (replay-stable span digest)",
+    )
+    _add_problem_args(p)
+    p.add_argument(
+        "--corpus",
+        dest="corpus_file",
+        metavar="PATH",
+        help="trace a conformance corpus fixture instead of a spec",
+    )
+    p.add_argument("--json", action="store_true", help="emit JSONL records on stdout")
+    p.add_argument(
+        "--flame",
+        action="store_true",
+        help="cumulative per-span-name table instead of the tree",
+    )
+    p.add_argument("--out", metavar="PATH", help="also write the JSONL records here")
+    p.add_argument(
+        "--no-sim", action="store_true", help="skip the simulator leg of the pipeline"
+    )
+    p.set_defaults(handler=_cmd_trace)
+
+    p = sub.add_parser(
+        "profile",
+        help="engine-vs-engine hot-rule table over a seeded random workload",
+    )
+    p.add_argument("--samples", type=int, default=50)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(handler=_cmd_profile)
 
     p = sub.add_parser("examples", help="list built-in examples")
     p.set_defaults(handler=_cmd_examples)

@@ -25,7 +25,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.analysis.batch import effective_cpu_count, parallel_map
+from repro.analysis.batch import effective_cpu_count, instrumented_map
 from repro.conformance.corpus import load_corpus_file, write_corpus_file
 from repro.conformance.metamorphic import metamorphic_suite
 from repro.conformance.oracles import (
@@ -38,6 +38,7 @@ from repro.conformance.shrink import shrink_problem
 from repro.conformance.transforms import problems_equivalent
 from repro.core.problem import ExchangeProblem
 from repro.errors import ReproError
+from repro.obs.metrics import MetricsSnapshot, snapshot_digest
 from repro.spec.compiler import load
 from repro.spec.formatter import format_problem
 from repro.workloads.random_graphs import RandomProblemConfig, random_problem
@@ -204,10 +205,17 @@ def case_specs(config: FuzzConfig) -> list[CaseSpec]:
 
 @dataclass(frozen=True)
 class FuzzReport:
-    """Aggregated outcome of one fuzz run."""
+    """Aggregated outcome of one fuzz run.
+
+    ``metrics`` is the deterministically merged observability snapshot over
+    every case (rule firings, worklist depths, net counters); its digest is
+    identical between serial and pooled execution, same as the verdict
+    digest.
+    """
 
     config: FuzzConfig
     results: tuple[CaseResult, ...] = field(default_factory=tuple)
+    metrics: MetricsSnapshot = ()
 
     @property
     def discrepant(self) -> tuple[CaseResult, ...]:
@@ -232,6 +240,10 @@ class FuzzReport:
         ).encode()
         return hashlib.sha256(payload).hexdigest()
 
+    def metrics_digest(self) -> str:
+        """Hash of the merged observability metrics (serial == pooled)."""
+        return snapshot_digest(self.metrics)
+
     def describe(self) -> list[str]:
         lines = [
             f"conformance fuzz: {len(self.results)} case(s), seed "
@@ -248,6 +260,7 @@ class FuzzReport:
                     f"{discrepancy}"
                 )
         lines.append(f"  verdict digest: {self.digest()}")
+        lines.append(f"  metrics digest: {self.metrics_digest()}")
         return lines
 
     def to_dict(self) -> dict[str, object]:
@@ -270,13 +283,22 @@ class FuzzReport:
                 for r in self.discrepant
             ],
             "digest": self.digest(),
+            "metrics_digest": self.metrics_digest(),
         }
 
 
 def run_fuzz(config: FuzzConfig, processes: int | None = None) -> FuzzReport:
-    """Run one fuzz sweep, optionally over a process pool."""
-    results = parallel_map(run_case, case_specs(config), processes=processes)
-    return FuzzReport(config=config, results=tuple(results))
+    """Run one fuzz sweep, optionally over a process pool.
+
+    Every case runs inside a metrics-only observability scope (worker-side
+    when pooled), and the merged snapshot rides back on the report — see
+    :func:`repro.analysis.batch.instrumented_map` for the determinism
+    argument.
+    """
+    results, metrics = instrumented_map(
+        run_case, case_specs(config), processes=processes
+    )
+    return FuzzReport(config=config, results=tuple(results), metrics=metrics)
 
 
 def _still_failing(

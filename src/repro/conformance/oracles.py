@@ -52,10 +52,19 @@ STRATEGIES = ("fifo", "lifo", "random")
 
 @dataclass(frozen=True)
 class Discrepancy:
-    """One cross-oracle disagreement (or broken metamorphic relation)."""
+    """One cross-oracle disagreement (or broken metamorphic relation).
+
+    ``trace_a``/``trace_b`` carry the rendered divergent trace pair when the
+    disagreement is between two reduction runs (engine-divergence,
+    flat-divergence, confluence): the full step-by-step record of each side,
+    so a fuzz hit is debuggable from the report alone.  Empty for
+    discrepancy kinds that have no two traces to show.
+    """
 
     kind: str
     detail: str
+    trace_a: str = ""
+    trace_b: str = ""
 
     def __str__(self) -> str:
         return f"[{self.kind}] {self.detail}"
@@ -189,6 +198,8 @@ def cross_check(
                         f"(feasible={reference.feasible}, "
                         f"steps={len(reference.steps)}, "
                         f"remaining={len(reference.remaining)})",
+                        trace_a=str(incremental),
+                        trace_b=str(reference),
                     )
                 )
             if compiled is not None:
@@ -209,6 +220,8 @@ def cross_check(
                             f"(feasible={incremental.feasible}, "
                             f"steps={len(incremental.steps)}, "
                             f"remaining={len(incremental.remaining)})",
+                            trace_a=str(flat),
+                            trace_b=str(incremental),
                         )
                     )
             if persona and strategy == "fifo":
@@ -227,6 +240,8 @@ def cross_check(
                             f"{len(incremental.remaining)} but fifo gave "
                             f"feasible={base.feasible} remaining="
                             f"{len(base.remaining)}",
+                            trace_a=str(incremental),
+                            trace_b=str(base),
                         )
                     )
     assert base is not None
@@ -256,6 +271,8 @@ def cross_check(
                     "free-order verdict loop disagrees with the indexed "
                     f"engine: flat (feasible, steps, remaining, blockages)="
                     f"{flat_counts} != indexed {base_counts}",
+                    trace_a=repr(flat_verdict),
+                    trace_b=str(base),
                 )
             )
 

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from repro.core.flatcore.compiler import CompiledGraph, compile_graph
 from repro.core.flatcore.runtime import FlatVerdict, count_blockages, verdict_pass
 from repro.core.sequencing import SequencingGraph
+from repro.obs.runtime import active as _active_tracer
 
 
 @dataclass(frozen=True)
@@ -148,6 +149,8 @@ class GraphArena:
         elig = bytearray(n_e)
         seeds = self.seeds_on if enable_persona_clause else self.seeds_off
         seed_base = self.seed_base_on if enable_persona_clause else self.seed_base_off
+        obs = _active_tracer()
+        block_hist = None if obs is None else obs.metrics.histogram("arena.block_edges")
 
         verdicts: list[FlatVerdict] = []
         for p in range(self.n_problems):
@@ -160,6 +163,8 @@ class GraphArena:
             )
             lo = self.e_base[p]
             hi = self.e_base[p + 1]
+            if block_hist is not None:
+                block_hist.observe(hi - lo)
             remaining = alive.count(1, lo, hi)
             blockages = (
                 count_blockages(ec, ej, red, per, cc, rj, alive, lo, hi)
@@ -174,6 +179,10 @@ class GraphArena:
                     blockages=blockages,
                 )
             )
+        if obs is not None:
+            obs.metrics.inc("arena.problems", self.n_problems)
+            for verdict in verdicts:
+                obs.verdict(verdict.feasible)
         return verdicts
 
 
@@ -188,4 +197,11 @@ def check_feasibility_flat_batch(
     verdicts come back in input order.
     """
     arena = GraphArena.from_graphs(graphs)
-    return arena.reduce_all(enable_persona_clause=enable_persona_clause)
+    obs = _active_tracer()
+    if obs is None:
+        return arena.reduce_all(enable_persona_clause=enable_persona_clause)
+    with obs.span(
+        "reduce.batch",
+        {"problems": arena.n_problems, "edges": len(arena.edge_commitment)},
+    ):
+        return arena.reduce_all(enable_persona_clause=enable_persona_clause)

@@ -40,6 +40,7 @@ def bench_payload(
     compile_seconds: Mapping[int, float],
     flat_verdict_seconds: Mapping[int, float],
     flat_trace_seconds: Mapping[int, float],
+    phase_seconds: Mapping[int, Mapping[str, float]] | None = None,
     batch_problems: int,
     batch_indexed_problems_per_second: float,
     batch_flat_problems_per_second: float,
@@ -51,7 +52,9 @@ def bench_payload(
     are median wall-clock seconds for one reduction of that graph.  The
     caller supplies ``date`` and ``machine`` (no clock or platform reads
     here), and ``process_cpus`` so throughput numbers stay interpretable on
-    single-core hosts.
+    single-core hosts.  ``phase_seconds`` optionally breaks the flat trace
+    path into its compile/run/decompile phases (measured with
+    :class:`repro.obs.clock.PhaseTimer`, mean seconds per run).
     """
 
     def by_size(values: Mapping[int, float]) -> dict[str, float]:
@@ -73,6 +76,15 @@ def bench_payload(
         "trace_speedup_over_indexed": speedup_table(
             indexed_reduce_seconds, flat_trace_seconds
         ),
+        "phase_seconds": {
+            str(size): {
+                phase: phase_seconds[size][phase]
+                for phase in phase_seconds[size]
+            }
+            for size in sorted(phase_seconds)
+        }
+        if phase_seconds is not None
+        else {},
         "batch": {
             "problems": batch_problems,
             "indexed_problems_per_second": batch_indexed_problems_per_second,

@@ -41,6 +41,8 @@ from repro.core.reduction import (
     Rule,
 )
 from repro.core.sequencing import SequencingGraph
+from repro.obs.runtime import active as _active_tracer
+from repro.obs.spans import Tracer
 
 ENGINES = ("indexed", "flat")
 """Engine names accepted by the analysis layer and the CLI ``--engine`` flag."""
@@ -81,6 +83,28 @@ def run_reduction(
     enable_persona_clause: bool = True,
 ) -> FlatRun:
     """Reduce the compiled graph step-for-step like the indexed engine."""
+    obs = _active_tracer()
+    if obs is None:
+        return _run_reduction_impl(compiled, strategy, rng, enable_persona_clause, None)
+    with obs.span(
+        "reduce.flat", {"edges": compiled.n_edges, "strategy": strategy}
+    ) as span_id:
+        run = _run_reduction_impl(compiled, strategy, rng, enable_persona_clause, obs)
+        remaining = run.alive.count(1)
+        obs.set_attr(span_id, "feasible", remaining == 0)
+        obs.set_attr(span_id, "survivors", remaining)
+    obs.metrics.histogram("reduction.survivors").observe(remaining)
+    obs.verdict(remaining == 0)
+    return run
+
+
+def _run_reduction_impl(
+    compiled: CompiledGraph,
+    strategy: str,
+    rng: random.Random | None,
+    enable_persona_clause: bool,
+    obs: Tracer | None,
+) -> FlatRun:
     n_e = compiled.n_edges
     ec = compiled.edge_commitment
     ej = compiled.edge_conjunction
@@ -172,7 +196,12 @@ def run_reduction(
                 rule = 1 if cc[c] == 1 and (per[c] != 0 or rj[j] == red[e]) else 2
             else:
                 rule = 2 if jc[j] == 1 else 1
-            for new_edge in remove(e, rule):
+            newly = remove(e, rule)
+            if obs is not None:
+                obs.rule_firing(
+                    f"rule{rule}", edge=e, depth=len(heap), persona=steps[-1][3]
+                )
+            for new_edge in newly:
                 heapq.heappush(heap, sign * new_edge)
     elif strategy == "random":
         if rng is None:
@@ -191,7 +220,12 @@ def run_reduction(
                     options.append((2, e))
             rule, e = rng.choice(options)
             cand.discard(e)
-            cand.update(remove(e, rule))
+            newly = remove(e, rule)
+            if obs is not None:
+                obs.rule_firing(
+                    f"rule{rule}", edge=e, depth=len(cand), persona=steps[-1][3]
+                )
+            cand.update(newly)
     elif seeds:
         raise ReductionError(f"unknown reduction strategy {strategy!r}")
 
@@ -387,8 +421,30 @@ def check_feasibility_flat(
     *,
     enable_persona_clause: bool = True,
 ) -> FlatVerdict:
-    """Feasibility verdict via the free-order loop (no trace built)."""
+    """Feasibility verdict via the free-order loop (no trace built).
+
+    Observability wraps only this function boundary: the drain loop itself
+    (:func:`verdict_pass`) carries no per-edge instrumentation, so the
+    disabled-tracing overhead on the verdict bench is a single ``active()``
+    call per verdict.
+    """
     compiled = graph if isinstance(graph, CompiledGraph) else compile_graph(graph)
+    obs = _active_tracer()
+    if obs is None:
+        return _check_feasibility_impl(compiled, enable_persona_clause)
+    with obs.span("verdict.flat", {"edges": compiled.n_edges}) as span_id:
+        verdict = _check_feasibility_impl(compiled, enable_persona_clause)
+        obs.set_attr(span_id, "feasible", verdict.feasible)
+        obs.set_attr(span_id, "survivors", verdict.remaining)
+    obs.metrics.inc("reduction.free_order_steps", verdict.steps)
+    obs.metrics.histogram("reduction.survivors").observe(verdict.remaining)
+    obs.verdict(verdict.feasible)
+    return verdict
+
+
+def _check_feasibility_impl(
+    compiled: CompiledGraph, enable_persona_clause: bool
+) -> FlatVerdict:
     n_e = compiled.n_edges
     per = compiled.persona if enable_persona_clause else bytearray(compiled.n_commitments)
     cc = array("i", compiled.cc0)

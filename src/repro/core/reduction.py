@@ -66,6 +66,7 @@ from repro.core.sequencing import (
     SequencingGraph,
 )
 from repro.errors import ReductionError
+from repro.obs.runtime import active as _active_tracer
 
 
 class Rule(enum.IntEnum):
@@ -184,6 +185,9 @@ class ReductionEngine:
         the clause is exactly what makes the trust variants differ."""
         self.graph = graph
         self.enable_persona_clause = enable_persona_clause
+        # Captured once: the per-firing observability cost is a single
+        # ``is not None`` test when tracing is off (the common case).
+        self._obs = _active_tracer()
         edges = graph.edges
         self.remaining: set[SGEdge] = set(edges)
         self.steps: list[ReductionStep] = []
@@ -416,6 +420,13 @@ class ReductionEngine:
             conjunction_disconnected=conjunction_done,
         )
         self.steps.append(step)
+        if self._obs is not None:
+            self._obs.rule_firing(
+                f"rule{int(rule)}",
+                edge=index,
+                depth=len(self._cand),
+                persona=via_persona,
+            )
         return step
 
     def apply_edge(self, edge: SGEdge) -> ReductionStep:
@@ -447,6 +458,26 @@ class ReductionEngine:
         :meth:`applicable` list each step because their choice is defined
         over it.
         """
+        obs = self._obs
+        if obs is None:
+            return self._run(strategy, rng, chooser)
+        with obs.span(
+            "reduce.indexed", {"edges": len(self._edges), "strategy": strategy}
+        ) as span_id:
+            trace = self._run(strategy, rng, chooser)
+            obs.set_attr(span_id, "feasible", trace.feasible)
+            obs.set_attr(span_id, "survivors", len(trace.remaining))
+        obs.metrics.histogram("reduction.survivors").observe(len(trace.remaining))
+        obs.verdict(trace.feasible)
+        return trace
+
+    def _run(
+        self,
+        strategy: str,
+        rng: random.Random | None,
+        chooser: Callable[[list[tuple[Rule, SGEdge, bool]]], tuple[Rule, SGEdge, bool]]
+        | None,
+    ) -> ReductionTrace:
         if strategy == "random" and rng is None and chooser is None:
             rng = random.Random(0)
         if chooser is not None or strategy == "random":

@@ -1,0 +1,87 @@
+"""Deterministic observability: spans, metrics, and sanctioned timers.
+
+The correctness story of this reproduction rests on replayability: the same
+seed must produce the same fuzz digest, the same fault schedule, the same
+verdict — serial or pooled.  That rules out the usual tracing substrate
+(wall-clock timestamps, thread ids, random trace ids).  This package is the
+house alternative, built around one split:
+
+* **Logical time everywhere the determinism lint reaches.**  Spans and
+  events inside ``core``/``sim``/``conformance`` are stamped by a
+  :class:`~repro.obs.clock.LogicalClock` — a monotone step counter advanced
+  once per span edge — so a trace of a run is a pure function of the run and
+  its JSONL export digests identically on every replay (DET001 stays
+  enforceable; nothing here reads the wall clock on those paths).
+* **Wall time only at the boundary.**  :mod:`repro.obs.clock` also carries
+  the *sanctioned* wall-clock timer API (:class:`~repro.obs.clock.WallTimer`,
+  :class:`~repro.obs.clock.PhaseTimer`) for the analysis/CLI/benchmark layer,
+  where durations are reporting, not semantics.
+
+The subsystem is dependency-free and **zero-cost when disabled**: hot paths
+capture :func:`~repro.obs.runtime.active` once per engine run and pay a
+single ``is not None`` test per rule firing (measured in
+``benchmarks/obs_overhead_bench.py``).  Enable it with
+:func:`~repro.obs.runtime.tracing` (spans + metrics) or
+:func:`~repro.obs.runtime.metrics_scope` (counters only — what the pooled
+fuzz/chaos workers use so serial and ``--jobs`` sweeps merge to identical
+metrics digests).
+
+Span lifecycle discipline is linted: outside this package the only legal way
+to open a span is the context-manager form ``with tracer.span(...)``
+(staticcheck rule OBS001); the imperative ``start_span``/``end_span`` pair
+exists for event-driven lifetimes (a message span opens at send and closes
+at delivery) and is confined to the helpers in :mod:`repro.obs.messages`.
+"""
+
+from repro.obs.clock import LogicalClock, PhaseTimer, WallTimer
+from repro.obs.export import (
+    metric_records,
+    render_flame,
+    render_tree,
+    snapshot_records,
+    span_digest,
+    span_records,
+    to_jsonl,
+    write_jsonl,
+)
+from repro.obs.messages import MessageObs
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    merge_snapshots,
+    snapshot_digest,
+)
+from repro.obs.runtime import active, disable, enable, metrics_scope, tracing
+from repro.obs.spans import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LogicalClock",
+    "MessageObs",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "PhaseTimer",
+    "Span",
+    "Tracer",
+    "WallTimer",
+    "active",
+    "disable",
+    "enable",
+    "merge_snapshots",
+    "metric_records",
+    "metrics_scope",
+    "render_flame",
+    "render_tree",
+    "snapshot_digest",
+    "snapshot_records",
+    "span_digest",
+    "span_records",
+    "to_jsonl",
+    "tracing",
+    "write_jsonl",
+]

@@ -1,0 +1,127 @@
+"""The two clocks of the observability layer.
+
+:class:`LogicalClock` is the only clock the deterministic packages ever see:
+a monotone integer advanced once per observed edge (span start, span end,
+event).  Two runs of the same seeded computation therefore produce
+byte-identical traces — which is what makes span digests a regression
+artifact rather than noise.
+
+:class:`WallTimer` and :class:`PhaseTimer` are the *sanctioned* wall-clock
+API for the analysis/CLI/benchmark boundary, where durations are reporting.
+They are deliberately the only place in the instrumented stack that touches
+:func:`time.perf_counter`; the determinism lint (DET001) bans direct clock
+reads from ``core``/``sim``/``conformance``, and those packages must never
+import these classes.
+"""
+
+from __future__ import annotations
+
+import time
+from types import TracebackType
+
+
+class LogicalClock:
+    """A monotone step counter: deterministic 'time' for spans and events."""
+
+    __slots__ = ("now",)
+
+    def __init__(self) -> None:
+        self.now = 0
+
+    def tick(self) -> int:
+        """Advance and return the new instant (first tick returns 1)."""
+        self.now += 1
+        return self.now
+
+
+class WallTimer:
+    """A start/stop wall-clock stopwatch (context-manager friendly).
+
+    ``seconds`` is valid after :meth:`stop` (or the ``with`` block exits);
+    re-entering restarts the measurement.
+    """
+
+    __slots__ = ("seconds", "_started_at")
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._started_at: float | None = None
+
+    def start(self) -> "WallTimer":
+        self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop and return the elapsed seconds since :meth:`start`."""
+        if self._started_at is None:
+            raise RuntimeError("WallTimer.stop() before start()")
+        self.seconds = time.perf_counter() - self._started_at
+        self._started_at = None
+        return self.seconds
+
+    def __enter__(self) -> "WallTimer":
+        return self.start()
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.stop()
+
+
+class PhaseTimer:
+    """Named sequential phases, each wall-timed once.
+
+    The flat-core bench uses this to split compile/run/decompile::
+
+        phases = PhaseTimer()
+        with phases.phase("compile"):
+            compiled = compile_graph(sg)
+        with phases.phase("run"):
+            run = run_reduction(compiled)
+        phases.seconds  # {"compile": ..., "run": ...}
+
+    Re-entering a phase name accumulates (useful for repeat loops).
+    """
+
+    __slots__ = ("seconds",)
+
+    def __init__(self) -> None:
+        self.seconds: dict[str, float] = {}
+
+    def phase(self, name: str) -> "_Phase":
+        return _Phase(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        self.seconds[name] = self.seconds.get(name, 0.0) + seconds
+
+    def as_dict(self, *, round_to: int | None = None) -> dict[str, float]:
+        """Phase → seconds in first-entered order (insertion-ordered dict)."""
+        if round_to is None:
+            return dict(self.seconds)
+        return {name: round(s, round_to) for name, s in self.seconds.items()}
+
+
+class _Phase:
+    """One ``with`` scope of a :class:`PhaseTimer` phase."""
+
+    __slots__ = ("_owner", "_name", "_timer")
+
+    def __init__(self, owner: PhaseTimer, name: str) -> None:
+        self._owner = owner
+        self._name = name
+        self._timer = WallTimer()
+
+    def __enter__(self) -> "_Phase":
+        self._timer.start()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self._owner.add(self._name, self._timer.stop())

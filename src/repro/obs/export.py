@@ -1,0 +1,140 @@
+"""Trace export: JSONL records, replay-stable digests, tree/flame rendering.
+
+The JSONL schema is one JSON object per line, sorted keys, no whitespace —
+canonical enough that :func:`span_digest` (sha256 over the span lines) is
+byte-identical across replays of the same seeded run.  Two record types:
+
+* span — ``{"attrs": {...}, "end": int, "events": [...], "name": str,
+  "parent_id": int, "span_id": int, "start": int, "type": "span"}``
+* metric — ``{"kind": str, "metric": str, "type": "metric",
+  "values": [...]}``
+
+Timestamps are logical-clock ticks (see :mod:`repro.obs.clock`), never wall
+time, so the digest is a pure function of the traced computation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.obs.metrics import MetricsSnapshot
+from repro.obs.spans import Span, Tracer
+
+#: One exportable record (span or metric), JSON-ready.
+Record = dict[str, object]
+
+
+def span_records(tracer: Tracer) -> list[Record]:
+    """Closed spans as JSON-ready records, ordered by span id."""
+    records: list[Record] = []
+    for span in sorted(tracer.spans, key=lambda s: s.span_id):
+        records.append(
+            {
+                "type": "span",
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "name": span.name,
+                "start": span.start,
+                "end": span.end,
+                "attrs": span.attrs,
+                "events": [
+                    {"tick": tick, "name": name, "attrs": attrs}
+                    for tick, name, attrs in span.events
+                ],
+            }
+        )
+    return records
+
+
+def snapshot_records(snapshot: MetricsSnapshot) -> list[Record]:
+    """A detached metrics snapshot (e.g. off a fuzz/chaos report) as records."""
+    return [
+        {"type": "metric", "metric": name, "kind": kind, "values": list(values)}
+        for name, kind, values in snapshot
+    ]
+
+
+def metric_records(tracer: Tracer) -> list[Record]:
+    """The tracer's metrics snapshot as JSON-ready records."""
+    return snapshot_records(tracer.metrics.snapshot())
+
+
+def to_jsonl(records: list[Record]) -> str:
+    """Canonical JSONL: sorted keys, compact separators, one trailing newline."""
+    if not records:
+        return ""
+    return (
+        "\n".join(json.dumps(r, sort_keys=True, separators=(",", ":")) for r in records)
+        + "\n"
+    )
+
+
+def write_jsonl(path: str | Path, records: list[Record]) -> None:
+    Path(path).write_text(to_jsonl(records), encoding="utf-8")
+
+
+def span_digest(tracer: Tracer) -> str:
+    """Replay-stable sha256 over the canonical span JSONL."""
+    payload = to_jsonl(span_records(tracer))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def render_tree(tracer: Tracer, *, max_events: int = 8) -> str:
+    """An indented span tree, children in start order.
+
+    Instants render as ``@tick``, real spans as ``[start..end]``; attrs are
+    appended ``key=value`` and up to ``max_events`` events are listed as
+    child lines prefixed ``·``.
+    """
+    spans = sorted(tracer.spans, key=lambda s: s.span_id)
+    children: dict[int, list[Span]] = {}
+    for span in spans:
+        children.setdefault(span.parent_id, []).append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda s: (s.start, s.span_id))
+
+    lines: list[str] = []
+
+    def emit(span: Span, depth: int) -> None:
+        indent = "  " * depth
+        if span.end == span.start:
+            when = f"@{span.start}"
+        else:
+            when = f"[{span.start}..{span.end}]"
+        attrs = "".join(f" {k}={v}" for k, v in span.attrs.items())
+        lines.append(f"{indent}{span.name} {when}{attrs}")
+        shown = span.events[:max_events]
+        for tick, name, event_attrs in shown:
+            event_suffix = "".join(f" {k}={v}" for k, v in event_attrs.items())
+            lines.append(f"{indent}  · {name} @{tick}{event_suffix}")
+        if len(span.events) > max_events:
+            lines.append(f"{indent}  · … {len(span.events) - max_events} more events")
+        for child in children.get(span.span_id, []):
+            emit(child, depth + 1)
+
+    for root in children.get(0, []):
+        emit(root, 0)
+    return "\n".join(lines)
+
+
+def render_flame(tracer: Tracer) -> str:
+    """Flamegraph-style cumulative table: ticks and counts per span name.
+
+    Logical ticks stand in for samples; sorted by cumulative ticks
+    descending, then name, so the hottest span names lead.
+    """
+    ticks: dict[str, int] = {}
+    counts: dict[str, int] = {}
+    for span in tracer.spans:
+        ticks[span.name] = ticks.get(span.name, 0) + span.ticks
+        counts[span.name] = counts.get(span.name, 0) + 1
+    if not ticks:
+        return "(no spans)"
+    rows = sorted(ticks.items(), key=lambda item: (-item[1], item[0]))
+    name_width = max(len("span"), max(len(name) for name, _ in rows))
+    lines = [f"{'span':<{name_width}}  {'ticks':>8}  {'count':>8}"]
+    for name, total in rows:
+        lines.append(f"{name:<{name_width}}  {total:>8}  {counts[name]:>8}")
+    return "\n".join(lines)

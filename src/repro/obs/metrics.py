@@ -1,0 +1,227 @@
+"""Metrics: counters, high-watermark gauges, fixed-bucket histograms.
+
+Everything here is built to *merge deterministically*.  A pooled sweep
+collects one snapshot per work item (in each worker process) and the parent
+folds them together in input order; a serial sweep folds the identical
+per-item snapshots in the same order.  The fold is therefore the same
+computation either way, and :func:`snapshot_digest` over the merged result
+is the one-string equality check the fuzz/chaos report tests assert.
+
+Merge semantics per instrument:
+
+* **Counter** — integer total; merged by addition.
+* **Gauge** — high-watermark (``record`` keeps the max); merged by max.
+  A last-write gauge cannot merge order-independently, so it does not exist
+  here.
+* **Histogram** — fixed, explicit bucket boundaries chosen at creation;
+  merged bucket-wise (boundaries must agree, enforced).  ``observe(v)``
+  lands ``v`` in the first bucket whose upper bound is ``>= v``, or in the
+  overflow bucket.
+
+Snapshots are plain nested tuples (picklable, hashable, JSON-friendly):
+``(name, kind, values)`` sorted by name — see :data:`MetricsSnapshot`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from bisect import bisect_left
+
+#: One serialized instrument: ``(name, kind, values)``.  Counters and gauges
+#: carry ``(value,)``; histograms carry
+#: ``(k, b_1..b_k, c_1..c_{k+1}, count, total)`` where ``k`` is the number of
+#: boundaries and ``c_{k+1}`` is the overflow bucket.
+MetricSample = tuple[str, str, tuple[float, ...]]
+
+#: A full registry snapshot: samples sorted by instrument name.
+MetricsSnapshot = tuple[MetricSample, ...]
+
+#: Default histogram boundaries: powers of two over the ranges the hot-path
+#: instruments see (worklist depths, survivor counts, message counts).
+DEFAULT_BUCKETS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+class Counter:
+    """A monotonically increasing integer total."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def sample(self) -> MetricSample:
+        return (self.name, self.kind, (self.value,))
+
+
+class Gauge:
+    """A high-watermark gauge: :meth:`record` keeps the maximum seen."""
+
+    __slots__ = ("name", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def record(self, value: float) -> None:
+        if value > self.value:
+            self.value = value
+
+    def sample(self) -> MetricSample:
+        return (self.name, self.kind, (self.value,))
+
+
+class Histogram:
+    """Fixed-bucket histogram with an overflow bucket, count, and total."""
+
+    __slots__ = ("name", "boundaries", "buckets", "count", "total")
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, boundaries: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> None:
+        if list(boundaries) != sorted(boundaries) or not boundaries:
+            raise ValueError(f"histogram boundaries must be sorted, non-empty: {boundaries!r}")
+        self.name = name
+        self.boundaries = tuple(boundaries)
+        self.buckets = [0] * (len(boundaries) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.buckets[bisect_left(self.boundaries, value)] += 1
+        self.count += 1
+        self.total += value
+
+    def sample(self) -> MetricSample:
+        k = len(self.boundaries)
+        return (
+            self.name,
+            self.kind,
+            (float(k), *self.boundaries, *map(float, self.buckets), float(self.count), self.total),
+        )
+
+
+class MetricsRegistry:
+    """A named bag of instruments with deterministic snapshot/merge."""
+
+    __slots__ = ("_instruments",)
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    # ------------------------------------------------------------ instruments
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = Counter(name)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, Counter):
+            raise TypeError(f"{name!r} is a {instrument.kind}, not a counter")
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = Gauge(name)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, Gauge):
+            raise TypeError(f"{name!r} is a {instrument.kind}, not a gauge")
+        return instrument
+
+    def histogram(
+        self, name: str, boundaries: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = Histogram(name, boundaries)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, Histogram):
+            raise TypeError(f"{name!r} is a {instrument.kind}, not a histogram")
+        elif instrument.boundaries != tuple(boundaries):
+            raise ValueError(
+                f"histogram {name!r} already registered with boundaries "
+                f"{instrument.boundaries!r}"
+            )
+        return instrument
+
+    def inc(self, name: str, n: int = 1) -> None:
+        """Convenience: bump a counter by name."""
+        self.counter(name).inc(n)
+
+    # --------------------------------------------------------------- snapshot
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Every instrument, serialized, sorted by name."""
+        return tuple(
+            self._instruments[name].sample() for name in sorted(self._instruments)
+        )
+
+    def absorb(self, snapshot: MetricsSnapshot) -> None:
+        """Fold a snapshot into this registry (deterministic merge)."""
+        for name, kind, values in snapshot:
+            if kind == Counter.kind:
+                self.counter(name).inc(int(values[0]))
+            elif kind == Gauge.kind:
+                self.gauge(name).record(values[0])
+            elif kind == Histogram.kind:
+                k = int(values[0])
+                boundaries = tuple(values[1 : 1 + k])
+                histogram = self.histogram(name, boundaries)
+                counts = values[1 + k : 2 + 2 * k]
+                for i, c in enumerate(counts):
+                    histogram.buckets[i] += int(c)
+                histogram.count += int(values[2 + 2 * k])
+                histogram.total += values[3 + 2 * k]
+            else:
+                raise ValueError(f"unknown metric kind {kind!r} for {name!r}")
+
+    def to_dict(self) -> dict[str, object]:
+        """A readable name → value mapping (histograms expand to sub-keys)."""
+        out: dict[str, object] = {}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if isinstance(instrument, Histogram):
+                out[name] = {
+                    "count": instrument.count,
+                    "total": instrument.total,
+                    "buckets": {
+                        **{
+                            f"le_{boundary:g}": instrument.buckets[i]
+                            for i, boundary in enumerate(instrument.boundaries)
+                        },
+                        "overflow": instrument.buckets[-1],
+                    },
+                }
+            else:
+                out[name] = instrument.value
+        return out
+
+    def digest(self) -> str:
+        return snapshot_digest(self.snapshot())
+
+
+def merge_snapshots(snapshots: "list[MetricsSnapshot]") -> MetricsSnapshot:
+    """Fold per-item snapshots (in the given order) into one snapshot.
+
+    Counters and histograms are commutative sums and gauges are maxes, so
+    the result is actually order-independent — the fixed input order just
+    makes that self-evident in the serial == ``--jobs`` digest tests.
+    """
+    merged = MetricsRegistry()
+    for snapshot in snapshots:
+        merged.absorb(snapshot)
+    return merged.snapshot()
+
+
+def snapshot_digest(snapshot: MetricsSnapshot) -> str:
+    """A replay-stable hash of one (usually merged) snapshot."""
+    payload = json.dumps(snapshot, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

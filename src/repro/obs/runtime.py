@@ -1,0 +1,71 @@
+"""The process-wide active tracer and the scopes that install one.
+
+Hot paths capture the active tracer *once* (at engine construction or run
+entry) and pay a single ``is not None`` test per firing afterwards::
+
+    obs = active()
+    ...
+    if obs is not None:
+        obs.rule_firing("rule1", edge=i, depth=len(worklist))
+
+When nothing is installed — the default — ``active()`` returns ``None`` and
+the instrumented code runs its original path.  The guard cost is measured in
+``benchmarks/obs_overhead_bench.py``.
+
+Two scopes install a tracer:
+
+* :func:`tracing` — full spans + metrics; what ``repro trace`` and the
+  chaos causal re-run use.
+* :func:`metrics_scope` — metrics only (``record_spans=False``); what
+  pooled workers wrap around each work item so the per-item snapshots merge
+  to identical digests in serial and ``--jobs`` runs.
+
+Both restore the previously active tracer on exit, so scopes nest safely.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from contextlib import contextmanager
+
+from repro.obs.spans import Tracer
+
+_ACTIVE: Tracer | None = None
+
+
+def active() -> Tracer | None:
+    """The currently installed tracer, or ``None`` (the common case)."""
+    return _ACTIVE
+
+
+def enable(*, record_spans: bool = True) -> Tracer:
+    """Install and return a fresh tracer (prefer the scoped forms)."""
+    global _ACTIVE
+    _ACTIVE = Tracer(record_spans=record_spans)
+    return _ACTIVE
+
+
+def disable() -> None:
+    """Uninstall any active tracer."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextmanager
+def tracing(*, record_spans: bool = True) -> Iterator[Tracer]:
+    """Run a block with a fresh tracer installed; restore the old one after."""
+    global _ACTIVE
+    previous = _ACTIVE
+    tracer = Tracer(record_spans=record_spans)
+    _ACTIVE = tracer
+    try:
+        yield tracer
+    finally:
+        _ACTIVE = previous
+
+
+@contextmanager
+def metrics_scope() -> Iterator[Tracer]:
+    """Run a block with a metrics-only tracer (no span recording)."""
+    with tracing(record_spans=False) as tracer:
+        yield tracer

@@ -1,0 +1,199 @@
+"""Hierarchical spans over a logical clock, plus hot-path helpers.
+
+A :class:`Tracer` owns a :class:`~repro.obs.clock.LogicalClock`, a
+:class:`~repro.obs.metrics.MetricsRegistry`, and the list of closed spans.
+Every span edge (open, close, event) advances the clock by one, so span
+timestamps are *step numbers*, not seconds — two replays of the same seeded
+run produce identical span lists, which is what makes
+:func:`repro.obs.export.span_digest` a regression artifact.
+
+Lifecycle discipline (enforced by staticcheck rule OBS001): outside
+``repro/obs`` the only legal way to open a span is the context-manager form
+``with tracer.span("name"):`` — it cannot leak a span open across an
+exception.  The imperative :meth:`Tracer.start_span`/:meth:`Tracer.end_span`
+pair exists for event-driven lifetimes (a message span opens at send and
+closes at delivery, in different call frames) and is confined to
+:mod:`repro.obs.messages`.
+
+A tracer created with ``record_spans=False`` is a metrics-only tracer: all
+span operations become no-ops while counters and histograms still accumulate.
+That is the mode pooled fuzz/chaos workers run in — cheap, picklable
+snapshots, no span traffic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+from contextlib import contextmanager
+
+from repro.obs.clock import LogicalClock
+from repro.obs.metrics import MetricsRegistry
+
+#: Span/event attribute values: keep them JSON scalars so export is trivial.
+AttrValue = int | float | str | bool
+
+#: One timestamped event inside an open span: ``(tick, name, attrs)``.
+SpanEvent = tuple[int, str, dict[str, AttrValue]]
+
+
+class Span:
+    """One closed or in-flight span.  ``end`` is ``None`` while open."""
+
+    __slots__ = ("span_id", "parent_id", "name", "start", "end", "attrs", "events")
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: int,
+        name: str,
+        start: int,
+        attrs: dict[str, AttrValue],
+    ) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = start
+        self.end: int | None = None
+        self.attrs = attrs
+        self.events: list[SpanEvent] = []
+
+    @property
+    def ticks(self) -> int:
+        """Inclusive logical duration (0 for instants and open spans)."""
+        return 0 if self.end is None else self.end - self.start
+
+
+class Tracer:
+    """Span + metrics collector for one traced run."""
+
+    __slots__ = (
+        "clock",
+        "metrics",
+        "record_spans",
+        "spans",
+        "_open",
+        "_stack",
+        "_next_id",
+        "_worklist_depth",
+    )
+
+    def __init__(self, *, record_spans: bool = True) -> None:
+        self.clock = LogicalClock()
+        self.metrics = MetricsRegistry()
+        self.record_spans = record_spans
+        #: Closed spans, in close order (deterministic: close order is a pure
+        #: function of the traced computation).
+        self.spans: list[Span] = []
+        self._open: dict[int, Span] = {}
+        self._stack: list[int] = []
+        self._next_id = 0
+        # Pre-created so the per-firing hot path is two attribute loads.
+        self._worklist_depth = self.metrics.histogram("reduction.worklist_depth")
+
+    # ---------------------------------------------------------------- spans
+
+    def start_span(
+        self,
+        name: str,
+        attrs: Mapping[str, AttrValue] | None = None,
+        *,
+        parent: int | None = None,
+    ) -> int:
+        """Open a span without entering it (event-driven lifetime).
+
+        Parented to ``parent`` if given, else to the innermost
+        context-managed span.  Returns the span id (``-1`` in metrics-only
+        mode, accepted as a no-op by every other method).
+        """
+        if not self.record_spans:
+            return -1
+        self._next_id += 1
+        span_id = self._next_id
+        parent_id = parent if parent is not None else (self._stack[-1] if self._stack else 0)
+        self._open[span_id] = Span(
+            span_id, parent_id, name, self.clock.tick(), dict(attrs or {})
+        )
+        return span_id
+
+    def end_span(
+        self, span_id: int, attrs: Mapping[str, AttrValue] | None = None
+    ) -> None:
+        """Close a span opened with :meth:`start_span`."""
+        span = self._open.pop(span_id, None)
+        if span is None:
+            return
+        if attrs:
+            span.attrs.update(attrs)
+        span.end = self.clock.tick()
+        self.spans.append(span)
+
+    @contextmanager
+    def span(
+        self, name: str, attrs: Mapping[str, AttrValue] | None = None
+    ) -> Iterator[int]:
+        """The sanctioned way to open a span: closed on every exit path."""
+        span_id = self.start_span(name, attrs)
+        if span_id < 0:
+            yield span_id
+            return
+        self._stack.append(span_id)
+        try:
+            yield span_id
+        finally:
+            self._stack.pop()
+            self.end_span(span_id)
+
+    def instant(self, name: str, attrs: Mapping[str, AttrValue] | None = None) -> None:
+        """A zero-length span (start == end, one clock tick)."""
+        if not self.record_spans:
+            return
+        self._next_id += 1
+        parent_id = self._stack[-1] if self._stack else 0
+        span = Span(self._next_id, parent_id, name, self.clock.tick(), dict(attrs or {}))
+        span.end = span.start
+        self.spans.append(span)
+
+    def add_event(
+        self, span_id: int, name: str, attrs: Mapping[str, AttrValue] | None = None
+    ) -> None:
+        """Attach a timestamped event to a still-open span."""
+        span = self._open.get(span_id)
+        if span is not None:
+            span.events.append((self.clock.tick(), name, dict(attrs or {})))
+
+    def set_attr(self, span_id: int, key: str, value: AttrValue) -> None:
+        """Set an attribute on a still-open span (e.g. a result computed
+        inside the ``with`` block)."""
+        span = self._open.get(span_id)
+        if span is not None:
+            span.attrs[key] = value
+
+    def open_span_ids(self) -> list[int]:
+        """Ids of spans opened but not yet closed, in open order."""
+        return sorted(self._open)
+
+    # ----------------------------------------------------- hot-path helpers
+
+    def rule_firing(
+        self, rule: str, *, edge: int, depth: int, persona: bool = False
+    ) -> None:
+        """One reduction-rule firing: counter + worklist depth + instant span.
+
+        ``rule`` is the rule tag (``rule1``..), ``edge`` the flat edge index
+        or edge id it fired on, ``depth`` the worklist/candidate depth at
+        firing time, ``persona`` whether Rule #1 fired through the §4.2.3
+        direct-trust waiver.
+        """
+        self.metrics.inc(f"reduction.firings.{rule}")
+        self._worklist_depth.observe(depth)
+        if persona:
+            self.metrics.inc("reduction.persona_waivers")
+        if self.record_spans:
+            attrs: dict[str, AttrValue] = {"edge": edge, "depth": depth}
+            if persona:
+                attrs["persona"] = True
+            self.instant(f"fire.{rule}", attrs)
+
+    def verdict(self, ok: bool) -> None:
+        """One feasibility verdict outcome."""
+        self.metrics.inc("verdict.pass" if ok else "verdict.fail")

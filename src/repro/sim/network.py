@@ -35,6 +35,8 @@ from typing import Callable
 from repro.core.actions import Action
 from repro.core.parties import Party
 from repro.errors import SimulationError
+from repro.obs.messages import MessageObs
+from repro.obs.runtime import active as _active_tracer
 from repro.sim.events import EventQueue
 from repro.sim.faults import FaultPlan
 
@@ -59,6 +61,7 @@ class Envelope:
     delivered: bool = False
     delivered_at: float | None = None
     abandoned: bool = False
+    span_id: int = -1  # observability span context (-1 when untraced)
 
 
 @dataclass
@@ -121,6 +124,12 @@ class Network:
         self._rng = fault_plan.rng() if fault_plan is not None else None
         self._fifo_floor: dict[tuple[Party, Party], float] = {}
         self._mailbox: dict[Party, list[tuple[Action, int]]] = {}
+        # When a tracer is active, every envelope gets a span whose events
+        # are the transport's fate decisions — the causal message trace.
+        tracer = _active_tracer()
+        self.message_obs: MessageObs | None = (
+            MessageObs(tracer) if tracer is not None else None
+        )
         # The runtime installs these to move wire custody on the ledger.
         self.custody_release_hook: Callable[[Envelope], None] | None = None
         self.custody_return_hook: Callable[[Envelope], None] | None = None
@@ -159,6 +168,10 @@ class Network:
             self.stats.notifies += 1
         envelope = Envelope(next(self._keys), action, self.queue.now)
         self._envelopes[envelope.key] = envelope
+        if self.message_obs is not None:
+            envelope.span_id = self.message_obs.send(
+                envelope.key, sender.name, recipient.name, str(action), envelope.sent_at
+            )
         self._attempt(envelope)
         return envelope
 
@@ -168,6 +181,8 @@ class Network:
         if envelope.delivered or envelope.abandoned:
             return False
         self.stats.retransmits += 1
+        if self.message_obs is not None:
+            self.message_obs.retransmit(envelope.key, self.queue.now)
         self._attempt(envelope)
         return True
 
@@ -178,6 +193,8 @@ class Network:
             return False
         envelope.abandoned = True
         self.stats.abandoned += 1
+        if self.message_obs is not None:
+            self.message_obs.abandon(envelope.key, self.queue.now)
         if self.custody_return_hook is not None:
             self.custody_return_hook(envelope)
         return True
@@ -216,6 +233,8 @@ class Network:
         self.stats.attempts += 1
         action = envelope.action
         now = self.queue.now
+        if self.message_obs is not None:
+            self.message_obs.attempt(envelope.key, envelope.attempts, now)
         plan = self.fault_plan
         times = [now + self.latency]
         if plan is not None and plan.active(now):
@@ -227,6 +246,8 @@ class Network:
                     link.drop > 0 and self._rng.random() < link.drop
                 ):
                     self.stats.dropped += 1
+                    if self.message_obs is not None:
+                        self.message_obs.drop(envelope.key, now)
                     return  # this attempt is lost; the asset stays on the wire
                 jitter = (
                     self._rng.uniform(0.0, link.max_delay) if link.max_delay > 0 else 0.0
@@ -234,6 +255,8 @@ class Network:
                 times = [now + self.latency + jitter]
                 if link.duplicate > 0 and self._rng.random() < link.duplicate:
                     self.stats.duplicates += 1
+                    if self.message_obs is not None:
+                        self.message_obs.duplicate(envelope.key, now)
                     times.append(times[0] + self.latency)
         for t in times:
             if plan is not None:
@@ -257,14 +280,20 @@ class Network:
             if self.custody_release_hook is not None:
                 self.custody_release_hook(envelope)
             self.stats.messages_delivered += 1
+            if self.message_obs is not None:
+                self.message_obs.deliver(envelope.key, self.queue.now)
             self.log.append(Delivery(envelope.sent_at, self.queue.now, envelope.action))
         else:
             self.stats.duplicate_deliveries += 1
+            if self.message_obs is not None:
+                self.message_obs.duplicate_delivery(envelope.key, self.queue.now)
         plan = self.fault_plan
         if plan is not None and plan.is_crashed(recipient.name, self.queue.now):
             # The host accepted the asset; the process is down.  Park the
             # handler call until restart (never, for permanent silence).
             self.stats.deferred += 1
+            if self.message_obs is not None:
+                self.message_obs.defer(envelope.key, self.queue.now)
             self._mailbox.setdefault(recipient, []).append(
                 (envelope.action, envelope.key)
             )

@@ -37,6 +37,7 @@ from repro.core.problem import ExchangeProblem
 from repro.core.protocol import Protocol, synthesize_protocol
 from repro.core.states import ExchangeState
 from repro.errors import FaultInjectionError, SimulationError
+from repro.obs.runtime import active as _active_tracer
 from repro.sim.agents import (
     AdversarialPrincipal,
     AdversaryStrategy,
@@ -281,6 +282,31 @@ class Simulation:
 
     def run(self, max_time: float = math.inf) -> SimulationResult:
         """Run to quiescence (or *max_time*) and summarize."""
+        obs = _active_tracer()
+        if obs is None:
+            return self._run(max_time)
+        with obs.span("sim.run", {"problem": self.problem.name}) as span_id:
+            result = self._run(max_time)
+            obs.set_attr(span_id, "duration", result.duration)
+            obs.set_attr(span_id, "quiescent", result.quiescent)
+        # Message counters are rolled up once from NetworkStats (rather than
+        # incrementally by MessageObs) so they cannot double-count and they
+        # exist even in metrics-only scopes.
+        stats = result.stats
+        metrics = obs.metrics
+        metrics.inc("net.sent", stats.messages_sent)
+        metrics.inc("net.delivered", stats.messages_delivered)
+        metrics.inc("net.attempts", stats.attempts)
+        metrics.inc("net.dropped", stats.dropped)
+        metrics.inc("net.duplicates", stats.duplicates)
+        metrics.inc("net.retransmits", stats.retransmits)
+        metrics.inc("net.deferred", stats.deferred)
+        metrics.inc("net.abandoned", stats.abandoned)
+        metrics.inc("net.stranded", result.stranded_messages)
+        metrics.histogram("sim.duration").observe(result.duration)
+        return result
+
+    def _run(self, max_time: float) -> SimulationResult:
         for agent in self.principals.values():
             agent.start()
         for node in self.trusted.values():
@@ -293,6 +319,8 @@ class Simulation:
                 break
             event.callback()
         stranded = self.network.resolve_stranded() if self.fault_plan else []
+        if self.network.message_obs is not None:
+            self.network.message_obs.finish(self.queue.now)
         return SimulationResult(
             problem_name=self.problem.name,
             duration=self.queue.now,

@@ -30,6 +30,13 @@ Rule catalogue (see DESIGN.md §10 for rationale and examples):
 * **EXC001** — exception constructs used for control flow in library code:
   bare ``except:``, catching ``AssertionError``, or a broad
   ``except Exception: pass`` that silently swallows failures.
+* **OBS001** — span lifecycle discipline: outside ``repro/obs`` the only
+  legal way to open a tracing span is the context-manager form
+  ``with tracer.span(...):`` (closed on every path, exceptions included).
+  Imperative ``.start_span()``/``.end_span()`` calls, and ``.span(...)``
+  used anywhere but as a ``with`` context item, are flagged.  The
+  imperative pair exists for event-driven lifetimes (a message span opens
+  at send, closes at delivery) and is confined to ``repro.obs.messages``.
 """
 
 from __future__ import annotations
@@ -431,6 +438,55 @@ class FloatMoneyArithmetic(Rule):
                     yield self.finding(
                         ctx, node, "in-place true division on a cents amount"
                     )
+
+
+# --------------------------------------------------------------------- OBS001
+
+@register
+class SpanLifecycleDiscipline(Rule):
+    """OBS001: spans opened outside the context-manager discipline.
+
+    Narrow by design: matches attribute calls named ``start_span``/
+    ``end_span`` anywhere, and attribute calls named ``span`` that are not
+    the context expression of a ``with`` item.  ``repro/obs`` itself is
+    exempt (the imperative pair is implemented and legitimately used there).
+    """
+
+    code = "OBS001"
+    title = "tracing span not closed on all paths"
+    suggestion = (
+        "open spans with 'with tracer.span(...) as span_id:' so every exit "
+        "path closes them; the imperative start_span/end_span pair is "
+        "reserved for repro.obs internals"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        segments = re.split(r"[\\/]", path)
+        return "obs" not in segments
+
+    def visit(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr in ("start_span", "end_span"):
+                yield self.finding(
+                    ctx, node, f"imperative {func.attr}() outside repro.obs — "
+                    "an exception between open and close leaks the span"
+                )
+            elif func.attr == "span":
+                parent = ctx.parent(node)
+                if (
+                    isinstance(parent, ast.withitem)
+                    and parent.context_expr is node
+                ):
+                    continue
+                yield self.finding(
+                    ctx, node, ".span(...) outside a with-statement — the "
+                    "span is not guaranteed to close on every path"
+                )
 
 
 # --------------------------------------------------------------------- EXC001

@@ -2,6 +2,8 @@
 
 from repro.analysis.chaos_study import (
     ChaosConfig,
+    ChaosReport,
+    ChaosVerdict,
     chaos_scenarios,
     chaos_study,
     _run_scenario,
@@ -29,6 +31,8 @@ class TestChaosStudy:
         serial = chaos_study(config, processes=1)
         pooled = chaos_study(config, processes=2)
         assert serial.verdicts == pooled.verdicts
+        assert serial.metrics == pooled.metrics
+        assert serial.metrics_digest() == pooled.metrics_digest()
 
     def test_same_seed_reproduces_same_report(self):
         a = chaos_study(_config(n=20, seed=9), processes=1)
@@ -75,6 +79,50 @@ class TestChaosStudy:
         skipped = [v for v in report.verdicts if not v.feasible]
         assert skipped, "a priority-saturated sweep must hit infeasible cases"
         assert all(not v.simulated and v.recovery == "not-run" for v in skipped)
+
+    def test_metrics_digest_reported_and_replay_stable(self):
+        a = chaos_study(_config(n=12, seed=5), processes=1)
+        b = chaos_study(_config(n=12, seed=5), processes=1)
+        assert a.metrics_digest() == b.metrics_digest()
+        assert a.metrics_digest() in "\n".join(a.describe())
+        assert a.to_dict()["metrics_digest"] == a.metrics_digest()
+        assert a.to_dict()["process_cpus"] >= 1
+
+    def test_violating_verdict_carries_its_message_trace(self):
+        # The sweeps above prove the theorem holds (zero violations), so the
+        # causal-trace attachment can only be exercised synthetically: build
+        # a violating verdict and check the report renders the wire's story.
+        trace = ("t=0 send #1 c->t pay", "t=1 drop #1", "t=2 retransmit #1")
+        verdict = ChaosVerdict(
+            index=0,
+            problem_seed=0.0,
+            fault_seed=1,
+            fault_digest="cafe",
+            feasible=True,
+            simulated=True,
+            safe=False,
+            violations=("honest party c lost custody",),
+            recovery="mixed",
+            silent_parties=(),
+            crashed_parties=("t",),
+            messages=1,
+            retransmits=1,
+            dropped=1,
+            duplicates=0,
+            deferred=0,
+            abandoned=0,
+            stranded=0,
+            quiescent=True,
+            duration=3.0,
+            baseline_ok=True,
+            message_trace=trace,
+        )
+        report = ChaosReport(config=_config(n=1), verdicts=(verdict,))
+        text = "\n".join(report.describe())
+        assert "VIOLATION scenario #0" in text
+        for line in trace:
+            assert line in text
+        assert report.to_dict()["verdicts"][0]["message_trace"] == list(trace)
 
     def test_recovery_paths_cover_reversal(self):
         # A crash-heavy sweep must exercise the §2.5 reversal path, not just

@@ -1,5 +1,6 @@
 """Unit tests for the §8 cost model."""
 
+from repro.obs import metrics_scope, snapshot_digest
 from repro.analysis.cost import (
     chain_cost_sweep,
     format_chain_table,
@@ -71,3 +72,29 @@ class TestChainSweep:
         assert len(lines) == 4
         assert "ratio" in lines[0]
         assert lines[1].split()[-1] == "2.0"
+
+
+class TestMetricsHooks:
+    def test_static_cost_counts_evaluations(self):
+        with metrics_scope() as tracer:
+            static_cost(example1())
+            static_cost(example2())
+        assert tracer.metrics.to_dict()["analysis.cost.static_evaluations"] == 2
+
+    def test_measured_cost_accumulates_deliveries(self):
+        with metrics_scope() as tracer:
+            measured = measured_cost(example1())
+        stats = tracer.metrics.to_dict()
+        assert stats["analysis.cost.transfers"] == measured.transfers == 8
+        assert stats["analysis.cost.notifies"] == measured.notifies == 2
+        # The simulator's own rollup agrees with the analysis-level counters.
+        assert stats["net.delivered"] == measured.total
+
+    def test_snapshot_digest_is_replay_stable(self):
+        with metrics_scope() as first:
+            chain_cost_sweep(2)
+        with metrics_scope() as second:
+            chain_cost_sweep(2)
+        assert snapshot_digest(first.metrics.snapshot()) == snapshot_digest(
+            second.metrics.snapshot()
+        )

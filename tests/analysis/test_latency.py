@@ -1,5 +1,6 @@
 """Unit tests for the latency analysis (§8 extended to time)."""
 
+from repro.obs import metrics_scope
 from repro.analysis.latency import (
     chain_latency_sweep,
     direct_latency,
@@ -53,3 +54,26 @@ class TestChainSweep:
         lines = format_latency_table(chain_latency_sweep(2))
         assert len(lines) == 4
         assert "decentralized" in lines[0]
+
+
+class TestMetricsHooks:
+    def test_measured_latency_lands_in_histogram(self):
+        with metrics_scope() as tracer:
+            duration = measured_latency(simple_purchase())
+        stats = tracer.metrics.to_dict()
+        histogram = stats["analysis.latency.duration"]
+        assert histogram["count"] == 1
+        assert histogram["total"] == duration
+
+    def test_chain_sweep_counts_rows(self):
+        with metrics_scope() as tracer:
+            rows = chain_latency_sweep(3)
+        stats = tracer.metrics.to_dict()
+        assert stats["analysis.latency.chain_rows"] == len(rows) == 4
+        assert stats["analysis.latency.duration"]["count"] == 4
+
+    def test_no_tracer_no_side_effects(self):
+        # Outside a scope the hook is a single None test; values agree.
+        with metrics_scope():
+            traced = measured_latency(example1())
+        assert measured_latency(example1()) == traced

@@ -45,6 +45,8 @@ class TestRunFuzz:
         serial = run_fuzz(config, processes=1)
         pooled = run_fuzz(config, processes=2)
         assert serial.digest() == pooled.digest()
+        assert serial.metrics == pooled.metrics
+        assert serial.metrics_digest() == pooled.metrics_digest()
 
     def test_describe_reports_digest(self):
         report = run_fuzz(FuzzConfig(cases=3, seed=0, simulate=False))

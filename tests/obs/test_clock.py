@@ -1,0 +1,61 @@
+"""The two clocks: logical steps for traces, wall time for the boundary."""
+
+import pytest
+
+from repro.obs import LogicalClock, PhaseTimer, WallTimer
+
+
+class TestLogicalClock:
+    def test_starts_at_zero_first_tick_is_one(self):
+        clock = LogicalClock()
+        assert clock.now == 0
+        assert clock.tick() == 1
+        assert clock.now == 1
+
+    def test_monotone(self):
+        clock = LogicalClock()
+        ticks = [clock.tick() for _ in range(5)]
+        assert ticks == [1, 2, 3, 4, 5]
+
+
+class TestWallTimer:
+    def test_measures_nonnegative_seconds(self):
+        with WallTimer() as timer:
+            sum(range(1000))
+        assert timer.seconds >= 0.0
+
+    def test_stop_before_start_raises(self):
+        with pytest.raises(RuntimeError):
+            WallTimer().stop()
+
+    def test_reenter_restarts(self):
+        timer = WallTimer()
+        with timer:
+            pass
+        first = timer.seconds
+        with timer:
+            sum(range(10000))
+        assert timer.seconds != first or timer.seconds >= 0.0
+
+
+class TestPhaseTimer:
+    def test_phases_in_entry_order(self):
+        phases = PhaseTimer()
+        with phases.phase("compile"):
+            pass
+        with phases.phase("run"):
+            pass
+        assert list(phases.as_dict()) == ["compile", "run"]
+
+    def test_reentering_a_phase_accumulates(self):
+        phases = PhaseTimer()
+        for _ in range(3):
+            with phases.phase("run"):
+                sum(range(100))
+        assert list(phases.as_dict()) == ["run"]
+        assert phases.seconds["run"] > 0.0
+
+    def test_round_to(self):
+        phases = PhaseTimer()
+        phases.add("run", 0.123456)
+        assert phases.as_dict(round_to=2) == {"run": 0.12}

@@ -1,0 +1,105 @@
+"""Export: canonical JSONL, replay-stable digests, tree/flame rendering."""
+
+import json
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    metric_records,
+    render_flame,
+    render_tree,
+    snapshot_records,
+    span_digest,
+    span_records,
+    to_jsonl,
+    write_jsonl,
+)
+
+
+def _traced() -> Tracer:
+    tracer = Tracer()
+    with tracer.span("outer", {"k": 1}):
+        tracer.instant("fire.rule1", {"edge": 0})
+        with tracer.span("inner"):
+            pass
+    tracer.metrics.inc("verdict.pass")
+    return tracer
+
+
+class TestRecords:
+    def test_span_records_ordered_by_span_id(self):
+        records = span_records(_traced())
+        assert [r["span_id"] for r in records] == [1, 2, 3]
+        assert [r["name"] for r in records] == ["outer", "fire.rule1", "inner"]
+        assert all(r["type"] == "span" for r in records)
+
+    def test_metric_records_follow_snapshot_order(self):
+        records = metric_records(_traced())
+        names = [r["metric"] for r in records]
+        assert names == sorted(names)
+        assert all(r["type"] == "metric" for r in records)
+
+    def test_snapshot_records_detached_from_tracer(self):
+        registry = MetricsRegistry()
+        registry.inc("verdict.pass", 2)
+        (record,) = snapshot_records(registry.snapshot())
+        assert record == {
+            "type": "metric",
+            "metric": "verdict.pass",
+            "kind": "counter",
+            "values": [2],
+        }
+
+
+class TestJsonl:
+    def test_canonical_form(self):
+        text = to_jsonl(span_records(_traced()))
+        lines = text.splitlines()
+        assert text.endswith("\n")
+        assert len(lines) == 3
+        for line in lines:
+            parsed = json.loads(line)
+            assert line == json.dumps(parsed, sort_keys=True, separators=(",", ":"))
+
+    def test_empty_records_is_empty_string(self):
+        assert to_jsonl([]) == ""
+
+    def test_write_jsonl_round_trips(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        records = span_records(_traced())
+        write_jsonl(path, records)
+        read_back = [json.loads(line) for line in path.read_text().splitlines()]
+        assert read_back == records
+
+    def test_span_digest_replay_stable_and_sensitive(self):
+        assert span_digest(_traced()) == span_digest(_traced())
+        other = _traced()
+        other.instant("extra")
+        assert span_digest(other) != span_digest(_traced())
+
+
+class TestRendering:
+    def test_tree_indents_children_and_marks_instants(self):
+        lines = render_tree(_traced()).splitlines()
+        assert lines[0] == "outer [1..5] k=1"
+        assert lines[1] == "  fire.rule1 @2 edge=0"
+        assert lines[2] == "  inner [3..4]"
+
+    def test_tree_truncates_events(self):
+        tracer = Tracer()
+        span_id = tracer.start_span("message")
+        for n in range(5):
+            tracer.add_event(span_id, "attempt", {"n": n})
+        tracer.end_span(span_id)
+        rendered = render_tree(tracer, max_events=2)
+        assert "… 3 more events" in rendered
+        assert rendered.count("· attempt") == 2
+
+    def test_flame_sorts_by_cumulative_ticks(self):
+        lines = render_flame(_traced()).splitlines()
+        assert lines[0].split() == ["span", "ticks", "count"]
+        assert lines[1].startswith("outer")  # 4 ticks beats inner's 1
+        assert lines[-1].startswith("fire.rule1")  # instants carry 0 ticks
+
+    def test_flame_empty(self):
+        assert render_flame(Tracer()) == "(no spans)"

@@ -1,0 +1,96 @@
+"""Metrics: deterministic snapshots, order-independent merges, digests."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, merge_snapshots, snapshot_digest
+
+
+def _one_of_each() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("c").inc(3)
+    registry.gauge("g").record(7.5)
+    histogram = registry.histogram("h", boundaries=(1, 2, 4))
+    for value in (0, 1, 3, 100):
+        histogram.observe(value)
+    return registry
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.inc("hits")
+        registry.inc("hits", 4)
+        assert registry.to_dict()["hits"] == 5
+
+    def test_gauge_keeps_high_watermark(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        for value in (3, 9, 2):
+            gauge.record(value)
+        assert registry.to_dict()["depth"] == 9
+
+    def test_histogram_buckets_and_overflow(self):
+        registry = _one_of_each()
+        h = registry.to_dict()["h"]
+        assert h["count"] == 4
+        assert h["total"] == 104
+        assert h["buckets"] == {"le_1": 2, "le_2": 0, "le_4": 1, "overflow": 1}
+
+    def test_kind_conflicts_raise(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+        with pytest.raises(TypeError):
+            registry.histogram("x")
+
+    def test_histogram_boundary_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", boundaries=(1, 2))
+        with pytest.raises(ValueError):
+            registry.histogram("h", boundaries=(1, 2, 3))
+
+    def test_unsorted_boundaries_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("bad", boundaries=(2, 1))
+
+
+class TestSnapshots:
+    def test_sorted_by_name(self):
+        snapshot = _one_of_each().snapshot()
+        assert [name for name, _, _ in snapshot] == ["c", "g", "h"]
+
+    def test_snapshot_roundtrips_through_absorb(self):
+        snapshot = _one_of_each().snapshot()
+        fresh = MetricsRegistry()
+        fresh.absorb(snapshot)
+        assert fresh.snapshot() == snapshot
+
+    def test_merge_is_order_independent(self):
+        parts = [_one_of_each().snapshot() for _ in range(3)]
+        extra = MetricsRegistry()
+        extra.inc("c", 10)
+        parts.append(extra.snapshot())
+        forward = merge_snapshots(parts)
+        backward = merge_snapshots(list(reversed(parts)))
+        assert forward == backward
+        assert snapshot_digest(forward) == snapshot_digest(backward)
+
+    def test_merge_sums_counters_and_histograms_maxes_gauges(self):
+        merged = MetricsRegistry()
+        merged.absorb(merge_snapshots([_one_of_each().snapshot()] * 2))
+        stats = merged.to_dict()
+        assert stats["c"] == 6
+        assert stats["g"] == 7.5  # max, not sum
+        assert stats["h"]["count"] == 8
+
+    def test_digest_is_value_sensitive(self):
+        a = _one_of_each()
+        b = _one_of_each()
+        assert a.digest() == b.digest()
+        b.inc("c")
+        assert a.digest() != b.digest()
+
+    def test_empty_merge(self):
+        assert merge_snapshots([]) == ()

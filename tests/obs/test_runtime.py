@@ -1,0 +1,50 @@
+"""The process-wide tracer scopes: install, restore, nest."""
+
+from repro.obs import active, disable, enable, metrics_scope, tracing
+
+
+class TestActiveTracer:
+    def setup_method(self):
+        disable()
+
+    def teardown_method(self):
+        disable()
+
+    def test_default_is_none(self):
+        assert active() is None
+
+    def test_enable_disable(self):
+        tracer = enable()
+        assert active() is tracer
+        disable()
+        assert active() is None
+
+    def test_tracing_scope_installs_and_restores(self):
+        assert active() is None
+        with tracing() as tracer:
+            assert active() is tracer
+            assert tracer.record_spans
+        assert active() is None
+
+    def test_nested_scopes_restore_previous(self):
+        with tracing() as outer:
+            with tracing() as inner:
+                assert active() is inner
+                assert inner is not outer
+            assert active() is outer
+
+    def test_restores_on_exception(self):
+        try:
+            with tracing():
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert active() is None
+
+    def test_metrics_scope_is_spanless(self):
+        with metrics_scope() as tracer:
+            assert active() is tracer
+            assert not tracer.record_spans
+            with tracer.span("x") as span_id:
+                assert span_id == -1
+        assert active() is None

@@ -1,0 +1,108 @@
+"""Tracer span mechanics: nesting, events, metrics-only mode, hot helpers."""
+
+from repro.obs import Tracer
+
+
+class TestSpanLifecycle:
+    def test_context_form_closes_and_records(self):
+        tracer = Tracer()
+        with tracer.span("outer", {"k": 1}) as span_id:
+            assert span_id in tracer.open_span_ids()
+        assert tracer.open_span_ids() == []
+        (span,) = tracer.spans
+        assert span.name == "outer"
+        assert span.attrs == {"k": 1}
+        assert (span.start, span.end) == (1, 2)
+
+    def test_nesting_parents_to_stack_top(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer_id:
+            with tracer.span("inner") as inner_id:
+                pass
+        inner = next(s for s in tracer.spans if s.span_id == inner_id)
+        outer = next(s for s in tracer.spans if s.span_id == outer_id)
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id == 0
+
+    def test_exception_still_closes(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("risky"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert tracer.open_span_ids() == []
+        assert tracer.spans[0].end is not None
+
+    def test_imperative_open_close_with_attrs(self):
+        tracer = Tracer()
+        span_id = tracer.start_span("message", {"key": 1})
+        tracer.add_event(span_id, "attempt", {"n": 1})
+        tracer.set_attr(span_id, "fate", "delivered")
+        tracer.end_span(span_id, {"at": 3})
+        (span,) = tracer.spans
+        assert span.attrs == {"key": 1, "fate": "delivered", "at": 3}
+        assert [name for _, name, _ in span.events] == ["attempt"]
+
+    def test_end_unknown_span_is_noop(self):
+        tracer = Tracer()
+        tracer.end_span(99)
+        assert tracer.spans == []
+
+    def test_instant_is_zero_length(self):
+        tracer = Tracer()
+        tracer.instant("fire.rule1", {"edge": 3})
+        (span,) = tracer.spans
+        assert span.start == span.end
+        assert span.ticks == 0
+
+    def test_explicit_parent_overrides_stack(self):
+        tracer = Tracer()
+        with tracer.span("a") as a_id:
+            pass
+        with tracer.span("b"):
+            child = tracer.start_span("c", parent=a_id)
+            tracer.end_span(child)
+        c = next(s for s in tracer.spans if s.name == "c")
+        assert c.parent_id == a_id
+
+
+class TestMetricsOnlyMode:
+    def test_span_operations_are_noops(self):
+        tracer = Tracer(record_spans=False)
+        with tracer.span("x") as span_id:
+            assert span_id == -1
+        assert tracer.start_span("y") == -1
+        tracer.end_span(-1)
+        tracer.instant("z")
+        assert tracer.spans == []
+        assert tracer.clock.now == 0
+
+    def test_metrics_still_accumulate(self):
+        tracer = Tracer(record_spans=False)
+        tracer.rule_firing("rule1", edge=0, depth=4, persona=True)
+        tracer.verdict(True)
+        stats = tracer.metrics.to_dict()
+        assert stats["reduction.firings.rule1"] == 1
+        assert stats["reduction.persona_waivers"] == 1
+        assert stats["verdict.pass"] == 1
+        assert stats["reduction.worklist_depth"]["count"] == 1
+
+
+class TestHotPathHelpers:
+    def test_rule_firing_emits_instant_with_attrs(self):
+        tracer = Tracer()
+        tracer.rule_firing("rule2", edge=7, depth=2)
+        (span,) = tracer.spans
+        assert span.name == "fire.rule2"
+        assert span.attrs == {"edge": 7, "depth": 2}
+        assert tracer.metrics.to_dict()["reduction.firings.rule2"] == 1
+
+    def test_verdict_counters(self):
+        tracer = Tracer()
+        tracer.verdict(True)
+        tracer.verdict(False)
+        tracer.verdict(False)
+        stats = tracer.metrics.to_dict()
+        assert stats["verdict.pass"] == 1
+        assert stats["verdict.fail"] == 2

@@ -1,0 +1,18 @@
+"""Deliberate OBS001 violation: a span opened imperatively, never closed.
+
+If the comprehension below raised, the span would stay open forever; the
+context-manager form ``with tracer.span(...)`` closes it on every path and
+is the only form allowed outside ``repro.obs``.
+"""
+
+from repro.obs.runtime import active
+
+
+def reduce_with_trace(edges):
+    tracer = active()
+    if tracer is None:
+        return [e for e in edges if e]
+    span_id = tracer.start_span("reduce.custom")  # expected here OBS001
+    survivors = [e for e in edges if e]
+    tracer.set_attr(span_id, "survivors", len(survivors))
+    return survivors

@@ -30,6 +30,7 @@ RULE_FIXTURES = {
     "MUT001": FIXTURES / "mut001_frozen_mutation.py",
     "MONEY001": FIXTURES / "money001_float_math.py",
     "EXC001": FIXTURES / "exc001_control_flow.py",
+    "OBS001": FIXTURES / "obs001_span_discipline.py",
 }
 
 # DET002's sink inference also covers ``*payload*`` names (the flatcore
@@ -209,6 +210,33 @@ class TestRuleHeuristics:
         )
         assert lint_python_source("m.py", source, default_rules()) == []
 
+    def test_obs001_context_manager_form_is_clean(self):
+        source = (
+            "def traced(tracer, edges):\n"
+            "    with tracer.span('reduce', {'edges': len(edges)}) as span_id:\n"
+            "        tracer.set_attr(span_id, 'ok', True)\n"
+        )
+        assert lint_python_source("m.py", source, default_rules()) == []
+
+    def test_obs001_flags_span_outside_with(self):
+        source = (
+            "def traced(tracer):\n"
+            "    ctx = tracer.span('reduce')\n"
+            "    ctx.__enter__()\n"
+        )
+        findings = lint_python_source("m.py", source, default_rules())
+        assert [f.rule for f in findings] == ["OBS001"]
+
+    def test_obs001_exempts_the_obs_package(self):
+        source = (
+            "class Tracer:\n"
+            "    def deliver(self, span_id):\n"
+            "        self.end_span(span_id)\n"
+        )
+        assert lint_python_source("obs/messages.py", source, default_rules()) == []
+        findings = lint_python_source("sim/messages.py", source, default_rules())
+        assert [f.rule for f in findings] == ["OBS001"]
+
 
 class TestRegistry:
     def test_self_check_passes(self):
@@ -216,7 +244,14 @@ class TestRegistry:
 
     def test_every_documented_rule_registered(self):
         codes = {rule.code for rule in default_rules()}
-        assert codes == {"DET001", "DET002", "MUT001", "MONEY001", "EXC001"}
+        assert codes == {
+            "DET001",
+            "DET002",
+            "MUT001",
+            "MONEY001",
+            "EXC001",
+            "OBS001",
+        }
 
     def test_resolve_call_handles_dotted_chains(self):
         ctx = FileContext.build(

@@ -309,8 +309,8 @@ class TestLint:
 
         assert main(["lint", self.FIXTURES, "--format", "json"]) == 1
         payload = json_module.loads(capsys.readouterr().out)
-        assert payload["count"] == 6  # DET002 has two fixtures (set + payload)
-        assert payload["errors"] == 6
+        assert payload["count"] == 7  # DET002 has two fixtures (set + payload)
+        assert payload["errors"] == 7
         assert payload["warnings"] == 0
 
     def test_fix_suggestions_render(self, capsys):
