@@ -525,6 +525,93 @@ def _random_profile_problem(seed: int) -> ExchangeProblem:
     )
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Drive an exchange end-to-end as real processes over real sockets."""
+    from repro.net.supervisor import NetRunConfig, run_networked_exchange, trusted_parties
+    from repro.obs import metric_records, span_records, tracing, write_jsonl
+    from repro.sim.faults import FaultConfig, random_fault_plan
+
+    problem = _load_problem(args)
+    if not problem.feasibility().feasible:
+        raise ReproError(
+            f"{problem.name} is infeasible as specified; the socket runtime "
+            "needs a feasible problem (see 'repro-trust indemnify')"
+        )
+    fault_plan = None
+    if args.fault_seed is not None:
+        principals = [p.name for p in problem.interaction.principals]
+        trusted = [p.name for p in trusted_parties(problem, args.deadline)]
+        fault_plan = random_fault_plan(
+            principals,
+            trusted,
+            seed=args.fault_seed,
+            config=FaultConfig(
+                drop=args.drop,
+                duplicate=args.duplicate,
+                max_delay=args.max_delay,
+                crash_probability=args.crash,
+                permanent_silence_probability=args.silence,
+                heal_at=args.heal,
+            ),
+        )
+    adversaries = {
+        name: strategy.perform
+        for name, strategy in _parse_adversaries(args.adversary).items()
+    }
+    config = NetRunConfig(
+        latency=args.latency,
+        time_scale=args.time_scale,
+        deadline=args.deadline,
+        working_capital_cents=args.working_capital,
+        max_sim_time=args.max_time,
+        port=args.port,
+        spawn=args.spawn,
+    )
+    with tracing() as tracer:
+        run = run_networked_exchange(
+            problem,
+            args.run_dir,
+            config,
+            fault_plan=fault_plan,
+            adversaries=adversaries or None,
+        )
+        if args.trace_out:
+            write_jsonl(args.trace_out, span_records(tracer) + metric_records(tracer))
+            print(f"wrote {args.trace_out}")
+    result = run.result
+    print(
+        f"served {problem.name} on port {run.port}: duration {result.duration:.1f} "
+        f"(sim units), delivered {result.stats.messages_delivered}, "
+        f"kills {run.kills}, restarts {run.restarts}, "
+        f"stranded {result.stranded_messages}"
+    )
+    print(f"artifacts: {run.run_dir}")
+    for line in run.report.describe():
+        print(line)
+    silent = fault_plan.permanently_silent() if fault_plan is not None else frozenset()
+    excluded = frozenset(adversaries) | silent
+    return 0 if run.report.honest_parties_safe(excluded) else 1
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    """Run one party's node process against a running fault proxy."""
+    import asyncio
+
+    from repro.net.node import NodeConfig, run_node
+
+    cfg = NodeConfig(
+        spec_path=args.spec,
+        party=args.party,
+        host=args.host,
+        port=args.port,
+        wal_path=args.wal if args.wal is not None else f"{args.party}.wal",
+        deadline=args.deadline,
+        working_capital_cents=args.working_capital,
+        withhold=args.withhold,
+    )
+    return asyncio.run(run_node(cfg))
+
+
 def _cmd_examples(_args: argparse.Namespace) -> int:
     for name, factory in EXAMPLES.items():
         problem = factory()
@@ -727,6 +814,77 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--samples", type=int, default=50)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(handler=_cmd_profile)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the exchange as real processes over real sockets",
+    )
+    _add_problem_args(p)
+    p.add_argument(
+        "--run-dir",
+        default="net_run",
+        help="directory for the run's spec, WALs, logs and artifacts",
+    )
+    p.add_argument("--port", type=int, default=0, help="proxy port (0 = ephemeral)")
+    p.add_argument("--deadline", type=float, default=60.0)
+    p.add_argument("--latency", type=float, default=1.0, help="wire latency, sim units")
+    p.add_argument(
+        "--time-scale",
+        type=float,
+        default=0.02,
+        help="wall seconds per sim unit (default 0.02)",
+    )
+    p.add_argument("--working-capital", type=int, default=0, metavar="CENTS")
+    p.add_argument(
+        "--max-time", type=float, default=400.0, help="hard sim-time cap on the run"
+    )
+    p.add_argument(
+        "--adversary",
+        action="append",
+        default=[],
+        metavar="NAME[:K]",
+        help="party NAME withholds after K honest instructions (default 0)",
+    )
+    p.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help="grow a seeded FaultPlan (drops, dups, partitions, real kills)",
+    )
+    p.add_argument("--drop", type=float, default=0.15)
+    p.add_argument("--duplicate", type=float, default=0.10)
+    p.add_argument("--max-delay", type=float, default=3.0)
+    p.add_argument("--crash", type=float, default=0.35)
+    p.add_argument("--silence", type=float, default=0.4)
+    p.add_argument("--heal", type=float, default=30.0)
+    p.add_argument(
+        "--spawn",
+        choices=("process", "task"),
+        default="process",
+        help="node isolation: real subprocesses (default) or in-process tasks",
+    )
+    _add_trace_out_arg(p)
+    p.set_defaults(handler=_cmd_serve)
+
+    p = sub.add_parser(
+        "client",
+        help="run one party's node against a running exchange proxy",
+    )
+    p.add_argument("spec", help="path to the run's spec file")
+    p.add_argument("--party", required=True, help="which party this node plays")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True)
+    p.add_argument("--wal", default=None, help="write-ahead log path (default PARTY.wal)")
+    p.add_argument("--deadline", type=float, default=None)
+    p.add_argument("--working-capital", type=int, default=0, metavar="CENTS")
+    p.add_argument(
+        "--withhold",
+        type=int,
+        default=None,
+        metavar="K",
+        help="adversary: perform only the first K instructions",
+    )
+    p.set_defaults(handler=_cmd_client)
 
     p = sub.add_parser("examples", help="list built-in examples")
     p.set_defaults(handler=_cmd_examples)

@@ -19,6 +19,9 @@ its safety monitor.  This package systematically cross-checks them:
   problem down to a minimal counterexample;
 * :mod:`repro.conformance.corpus` — replayable counterexample files
   (spec text + seed + oracle verdicts);
+* :mod:`repro.conformance.netparity` — the socket-parity differential
+  arm: one seeded fault plan through the in-process simulator *and* the
+  real-socket runtime, asserting matching safety verdicts;
 * :mod:`repro.conformance.engine` — the fuzz driver behind ``repro fuzz``,
   fanning cases over :func:`repro.analysis.batch.parallel_map`.
 """
@@ -40,6 +43,13 @@ from repro.conformance.engine import (
     shrink_counterexamples,
 )
 from repro.conformance.metamorphic import metamorphic_suite
+from repro.conformance.netparity import (
+    ParityCase,
+    ParityConfig,
+    ParityVerdict,
+    parity_cases,
+    run_parity_case,
+)
 from repro.conformance.oracles import (
     CrossCheckResult,
     Discrepancy,
@@ -67,6 +77,9 @@ __all__ = [
     "FuzzConfig",
     "FuzzReport",
     "OracleVerdicts",
+    "ParityCase",
+    "ParityConfig",
+    "ParityVerdict",
     "assemble",
     "check_problem",
     "cross_check",
@@ -74,11 +87,13 @@ __all__ = [
     "load_corpus_file",
     "metamorphic_suite",
     "oversold_documents",
+    "parity_cases",
     "permute_exchanges",
     "problems_equivalent",
     "relabel_problem",
     "replay_corpus_file",
     "run_case",
+    "run_parity_case",
     "run_fuzz",
     "shrink_counterexamples",
     "shrink_problem",

@@ -90,3 +90,7 @@ class ProtocolError(ReproError):
 
 class StaticCheckError(ReproError):
     """The static-analysis engine was misused (bad path, unknown rule)."""
+
+
+class NetRuntimeError(ReproError):
+    """The socket runtime failed (bad frame, WAL corruption, lost node)."""

@@ -1,0 +1,444 @@
+"""The fault proxy: a seeded :class:`FaultPlan` enacted on real sockets.
+
+Every node connects to this asyncio TCP server; every envelope a node
+offers runs the *same* fault gauntlet the simulator's
+:class:`~repro.sim.network.Network` applies — partition windows, drop and
+duplication probabilities, bounded delay jitter, per-directed-link FIFO
+clamping — before being forwarded to its recipient.  Process faults are
+*real*: the supervisor SIGKILLs the victim's process, and the proxy parks
+deliveries addressed to a party inside its crash window (or with no live
+connection) in a mailbox flushed at reconnect, exactly the simulator's
+crashed-host semantics ("assets land on the host; only the logic is
+suspended").
+
+One deliberate departure from the simulator, documented here and in
+DESIGN.md §13: the simulator draws fault rolls from ``Random(plan.seed)``
+in *event order*, which no concurrent transport can replicate.  The proxy
+instead derives every roll from a stable hash of
+``(plan.seed, envelope key, attempt, purpose)`` — per-envelope
+deterministic, order-free.  Individual message fates therefore differ
+between runtimes; the conformance arm compares *verdicts* (safety and
+conservation), which the §5 theorem guarantees regardless of which
+messages die.
+
+Delivery is two-phase where it matters: a forwarded envelope counts as
+delivered only once the recipient confirms (``got``) that the delivery hit
+its write-ahead log — if the process is killed with the frame still in a
+socket buffer, the proxy re-parks it for redelivery at restart, so a
+message can never vanish into a dying process *after* being acknowledged
+to its sender.  Parked deliveries are acknowledged immediately (the host
+accepted the asset), mirroring ``Envelope.delivered`` for crashed parties.
+
+The ordered delivery log the proxy keeps is the run's ground truth: the
+supervisor folds it over the initial ledger to produce the final snapshot
+that :func:`repro.sim.safety.evaluate_safety` judges.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.actions import Action
+from repro.net.wire import action_from_json, action_to_json, read_frame, write_frame
+from repro.obs.messages import MessageObs
+from repro.obs.runtime import active as _active_tracer
+from repro.sim.faults import FaultPlan
+from repro.sim.network import NetworkStats
+
+
+@dataclass
+class ProxiedEnvelope:
+    """Transport fate of one logical message, keyed by its string key."""
+
+    key: str
+    src: str  # effective sender (the offering node)
+    dst: str  # effective recipient
+    action: Action
+    obs_key: int
+    attempts: int = 0
+    delivered: bool = False
+    abandoned: bool = False
+    delivered_at: float | None = None
+
+
+@dataclass
+class DeliveryRecord:
+    """One entry of the authoritative ordered delivery log."""
+
+    seq: int
+    time: float
+    key: str
+    action: Action
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "time": round(self.time, 6),
+            "key": self.key,
+            "action": action_to_json(self.action),
+        }
+
+
+class NetFaultProxy:
+    """Routes framed envelopes between node processes, injecting faults."""
+
+    def __init__(
+        self,
+        expected: frozenset[str],
+        plan: FaultPlan | None = None,
+        latency: float = 1.0,
+        time_scale: float = 0.02,
+    ) -> None:
+        self.expected = expected
+        self.plan = plan.validate() if plan is not None else None
+        self.latency = latency
+        self.time_scale = time_scale
+        self.stats = NetworkStats()
+        self.delivery_log: list[DeliveryRecord] = []
+        self.reports: dict[str, dict[str, Any]] = {}
+        self.dead: set[str] = set()  # permanently silenced (never restarted)
+
+        self._conns: dict[str, asyncio.StreamWriter] = {}
+        self._mailbox: dict[str, list[tuple[str, Action]]] = {}
+        self._offered: dict[str, ProxiedEnvelope] = {}
+        self._await_got: dict[str, str] = {}  # key -> recipient it was forwarded to
+        self._fifo_floor: dict[tuple[str, str], float] = {}
+        self._obs_keys = itertools.count(1)
+        self._tasks: set[asyncio.Task[None]] = set()
+        self._server: asyncio.Server | None = None
+        self._welcome = asyncio.Event()
+        self._connected = asyncio.Event()
+        self.epoch_wall: float | None = None
+        self.last_activity = time.monotonic()
+        tracer = _active_tracer()
+        self.obs: MessageObs | None = MessageObs(tracer) if tracer is not None else None
+
+    # ------------------------------------------------------------- lifecycle
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> int:
+        self._server = await asyncio.start_server(self._handle, host, port)
+        return self.port
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None
+        return self._server.sockets[0].getsockname()[1]
+
+    def open_for_business(self) -> None:
+        """Fix the epoch (sim time 0) and release welcome frames."""
+        self.epoch_wall = time.time()
+        self._welcome.set()
+
+    async def wait_connected(self, names: frozenset[str], timeout: float) -> bool:
+        """Wait until every party in *names* has said hello (or timeout)."""
+        give_up = time.monotonic() + timeout
+        while not names <= self._conns.keys():
+            if time.monotonic() >= give_up:
+                return False
+            await asyncio.sleep(0.02)
+        return True
+
+    async def close(self) -> None:
+        for task in list(self._tasks):
+            task.cancel()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self.obs is not None:
+            self.obs.finish(self.now_sim())
+
+    def broadcast_shutdown(self) -> None:
+        for writer in self._conns.values():
+            if not writer.is_closing():
+                write_frame(writer, {"type": "shutdown"})
+
+    # ------------------------------------------------------------------ time
+
+    def now_sim(self) -> float:
+        if self.epoch_wall is None:
+            return 0.0
+        return (time.time() - self.epoch_wall) / self.time_scale
+
+    def touch(self) -> None:
+        self.last_activity = time.monotonic()
+
+    # ------------------------------------------------------------ connection
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        hello = await read_frame(reader)
+        if hello is None or hello.get("type") != "hello":
+            writer.close()
+            return
+        party = str(hello["party"])
+        self._conns[party] = writer
+        self.touch()
+        if self.expected <= self._conns.keys():
+            self._connected.set()
+        await self._welcome.wait()
+        write_frame(
+            writer,
+            {
+                "type": "welcome",
+                "epoch": self.epoch_wall,
+                "time_scale": self.time_scale,
+            },
+        )
+        # Flush mail parked while the party's process was down: these were
+        # already marked delivered (the host accepted them); the restarted
+        # process now gets to run its handler, as in Network._drain_mailbox.
+        for key, action in self._mailbox.pop(party, []):
+            self._forward(party, key, action)
+        try:
+            await writer.drain()
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    break
+                self.touch()
+                kind = frame.get("type")
+                if kind == "act":
+                    self._on_offer(party, frame)
+                elif kind == "got":
+                    self._on_got(str(frame["key"]))
+                elif kind == "abandon":
+                    self._on_abandon(str(frame["key"]))
+                elif kind == "report":
+                    self.reports[party] = frame
+                await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            if self._conns.get(party) is writer:
+                del self._conns[party]
+            self._repark(party)
+            writer.close()
+
+    def _repark(self, party: str) -> None:
+        """The connection died: anything forwarded but never confirmed goes
+        back to the mailbox (a SIGKILL can strand frames in socket buffers).
+        """
+        stranded = [k for k, dst in self._await_got.items() if dst == party]
+        for key in stranded:
+            del self._await_got[key]
+            env = self._offered[key]
+            if not env.delivered:
+                self._mark_delivered(env)  # the host accepted it; log + ack
+                self.stats.deferred += 1
+                if self.obs is not None:
+                    self.obs.defer(env.obs_key, self.now_sim())
+            self._mailbox.setdefault(party, []).append((key, env.action))
+
+    # --------------------------------------------------------------- gauntlet
+
+    def _roll(self, key: str, attempt: int, purpose: str) -> float:
+        """A stable uniform [0,1) roll for one (envelope, attempt, purpose).
+
+        Unlike the simulator's event-ordered ``Random(plan.seed)`` stream,
+        rolls here are keyed — concurrency cannot reorder them.
+        """
+        seed = 0 if self.plan is None else self.plan.seed
+        digest = hashlib.sha256(
+            f"{seed}:{key}:{attempt}:{purpose}".encode("utf-8")
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / 2**64
+
+    def _on_offer(self, party: str, frame: dict[str, Any]) -> None:
+        key = str(frame["key"])
+        now = self.now_sim()
+        env = self._offered.get(key)
+        if env is None:
+            action = action_from_json(frame["action"])
+            env = ProxiedEnvelope(
+                key=key,
+                src=action.effective_sender.name,
+                dst=action.effective_recipient.name,
+                action=action,
+                obs_key=next(self._obs_keys),
+            )
+            self._offered[key] = env
+            self.stats.messages_sent += 1
+            self.stats.by_sender[action.effective_sender] = (
+                self.stats.by_sender.get(action.effective_sender, 0) + 1
+            )
+            if action.is_transfer:
+                self.stats.transfers += 1
+            else:
+                self.stats.notifies += 1
+            if self.obs is not None:
+                self.obs.send(env.obs_key, env.src, env.dst, str(action), now)
+        else:
+            if env.abandoned:
+                return
+            self.stats.retransmits += 1
+            if self.obs is not None:
+                self.obs.retransmit(env.obs_key, now)
+        env.attempts += 1
+        self.stats.attempts += 1
+        if self.obs is not None:
+            self.obs.attempt(env.obs_key, env.attempts, now)
+        if env.delivered:
+            self._ack(env)  # a retry raced the ack, or a restarted node re-offered
+            return
+
+        times = [now + self.latency]
+        plan = self.plan
+        if plan is not None and plan.active(now):
+            link = plan.link_for(env.src, env.dst)
+            if link is not None:
+                if link.partitioned(now) or (
+                    link.drop > 0 and self._roll(key, env.attempts, "drop") < link.drop
+                ):
+                    self.stats.dropped += 1
+                    if self.obs is not None:
+                        self.obs.drop(env.obs_key, now)
+                    return  # this attempt is lost; the asset stays on the wire
+                jitter = (
+                    self._roll(key, env.attempts, "delay") * link.max_delay
+                    if link.max_delay > 0
+                    else 0.0
+                )
+                times = [now + self.latency + jitter]
+                if link.duplicate > 0 and (
+                    self._roll(key, env.attempts, "dup") < link.duplicate
+                ):
+                    self.stats.duplicates += 1
+                    if self.obs is not None:
+                        self.obs.duplicate(env.obs_key, now)
+                    times.append(times[0] + self.latency)
+        if plan is not None:
+            # FIFO floor: jitter may stretch the wire but never lets a later
+            # message overtake an earlier one on the same directed link.
+            pair = (env.src, env.dst)
+            clamped = []
+            for t in times:
+                t = max(t, self._fifo_floor.get(pair, 0.0))
+                self._fifo_floor[pair] = t
+                clamped.append(t)
+            times = clamped
+        for t in times:
+            self._spawn(self._deliver_later(env, max(0.0, t - now) * self.time_scale))
+
+    def _spawn(self, coro: Any) -> None:
+        task = asyncio.ensure_future(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _deliver_later(self, env: ProxiedEnvelope, delay_wall: float) -> None:
+        if delay_wall > 0:
+            await asyncio.sleep(delay_wall)
+        self._deliver(env)
+
+    # --------------------------------------------------------------- delivery
+
+    def _deliver(self, env: ProxiedEnvelope) -> None:
+        if env.abandoned:
+            return  # a late copy of a message the wire already bounced
+        now = self.now_sim()
+        crashed = (
+            env.dst in self.dead
+            or (self.plan is not None and self.plan.is_crashed(env.dst, now))
+        )
+        conn = self._conns.get(env.dst)
+        if env.delivered:
+            self.stats.duplicate_deliveries += 1
+            if self.obs is not None:
+                self.obs.duplicate_delivery(env.obs_key, now)
+            if not crashed and conn is not None:
+                self._forward(env.dst, env.key, env.action)  # node dedups
+            return
+        if crashed or conn is None:
+            # The host accepted the asset; the process is down.  Park the
+            # handler call until restart (never, for permanent silence).
+            self._mark_delivered(env)
+            self.stats.deferred += 1
+            if self.obs is not None:
+                self.obs.defer(env.obs_key, now)
+            self._mailbox.setdefault(env.dst, []).append((env.key, env.action))
+            return
+        self._forward(env.dst, env.key, env.action)
+        self._await_got[env.key] = env.dst
+
+    def _forward(self, party: str, key: str, action: Action) -> None:
+        writer = self._conns.get(party)
+        if writer is None or writer.is_closing():
+            self._mailbox.setdefault(party, []).append((key, action))
+            return
+        write_frame(
+            writer, {"type": "act", "key": key, "action": action_to_json(action)}
+        )
+
+    def _on_got(self, key: str) -> None:
+        self._await_got.pop(key, None)
+        env = self._offered.get(key)
+        if env is None or env.delivered or env.abandoned:
+            return
+        self._mark_delivered(env)
+
+    def _mark_delivered(self, env: ProxiedEnvelope) -> None:
+        now = self.now_sim()
+        env.delivered = True
+        env.delivered_at = now
+        self.stats.messages_delivered += 1
+        if self.obs is not None:
+            self.obs.deliver(env.obs_key, now)
+        self.delivery_log.append(
+            DeliveryRecord(len(self.delivery_log), now, env.key, env.action)
+        )
+        self._ack(env)
+        self.touch()
+
+    def _ack(self, env: ProxiedEnvelope) -> None:
+        writer = self._conns.get(env.src)
+        if writer is not None and not writer.is_closing():
+            write_frame(writer, {"type": "ack", "key": env.key})
+
+    def _on_abandon(self, key: str) -> None:
+        env = self._offered.get(key)
+        if env is None or env.delivered or env.abandoned:
+            return
+        env.abandoned = True
+        self.stats.abandoned += 1
+        if self.obs is not None:
+            self.obs.abandon(env.obs_key, self.now_sim())
+
+    # ------------------------------------------------------------- quiescence
+
+    def in_flight_keys(self, ignoring: frozenset[str] = frozenset()) -> list[str]:
+        """Undelivered, unabandoned envelope keys (senders in *ignoring*
+        excluded — a permanently dead sender can never retry, so its
+        messages are stranded, not pending)."""
+        return [
+            key
+            for key, env in self._offered.items()
+            if not env.delivered and not env.abandoned and env.src not in ignoring
+        ]
+
+    def armed_trusted(self) -> list[str]:
+        """Trusted parties whose latest report shows an armed deadline."""
+        return [
+            name
+            for name, report in self.reports.items()
+            if report.get("trusted") and report.get("armed")
+        ]
+
+    def resolve_stranded(self) -> int:
+        """Abandon every still-undelivered envelope (quiescence backstop)."""
+        stranded = 0
+        for env in self._offered.values():
+            if not env.delivered and not env.abandoned:
+                env.abandoned = True
+                self.stats.abandoned += 1
+                stranded += 1
+                if self.obs is not None:
+                    self.obs.abandon(env.obs_key, self.now_sim())
+        return stranded
+
+    def delivered_actions(self) -> list[Action]:
+        return [record.action for record in self.delivery_log]

@@ -1,0 +1,441 @@
+"""Run one exchange problem as real processes over real sockets.
+
+:func:`run_networked_exchange` is the socket runtime's counterpart of
+:func:`repro.sim.runtime.simulate`: it starts a :class:`NetFaultProxy`,
+spawns one ``repro client`` subprocess per party (principals *and*
+trusted components), enacts the :class:`~repro.sim.faults.FaultPlan`'s
+:class:`~repro.sim.faults.PartyFault` windows with **real SIGKILLs** and
+respawns, waits for quiescence, and assembles the very same
+:class:`~repro.sim.runtime.SimulationResult` /
+:class:`~repro.sim.safety.SafetyReport` artifacts the simulator emits.
+
+Sim time vs. wall time: one simulator time unit is ``time_scale`` wall
+seconds; the epoch is fixed when every initially-alive node has connected.
+Fault windows, deadlines, retry backoffs and the delivery log all live in
+sim units, so a run's artifacts are directly comparable with the
+simulator's for the same problem and plan.
+
+Final-state assembly needs no trusted observer inside any node: the proxy
+keeps the authoritative ordered delivery log, and folding those transfers
+over the (identically derived) initial ledger — conservation-checked at
+every step — yields the final snapshot that
+:func:`~repro.sim.safety.evaluate_safety` judges.  Undelivered envelopes
+at collection time are resolved exactly like the simulator's stranded
+messages: custody returns to the sender and the run is flagged
+non-quiescent.
+
+``spawn="task"`` runs every node as an in-process asyncio task over real
+localhost TCP instead of a subprocess — same codec, WAL, proxy and
+gauntlet, minus process isolation.  Crashes become task cancellation plus
+a WAL-replaying respawn, which keeps the crash-recovery path exercisable
+in fast unit tests; the ``-m net`` suite uses real processes and real
+SIGKILLs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+
+import repro
+from repro.core.parties import Party
+from repro.core.problem import ExchangeProblem
+from repro.errors import NetRuntimeError
+from repro.net import bootstrap
+from repro.net.node import NodeConfig, run_node
+from repro.net.proxy import NetFaultProxy
+from repro.net.wire import encode_json
+from repro.sim.faults import FaultPlan
+from repro.sim.runtime import RunProvenance, SimulationResult
+from repro.sim.safety import SafetyReport, evaluate_safety
+from repro.spec.formatter import format_problem
+
+
+@dataclass(frozen=True)
+class NetRunConfig:
+    """Knobs of one networked run (sim-unit values unless noted)."""
+
+    latency: float = 1.0
+    time_scale: float = 0.02  # wall seconds per sim unit
+    deadline: float | None = 60.0
+    working_capital_cents: int = 0
+    max_sim_time: float = 400.0  # hard cap; exceeded => non-quiescent
+    quiet_period: float = 5.0  # silence needed to call the run done
+    ready_timeout: float = 20.0  # wall seconds to wait for initial hellos
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral
+    spawn: str = "process"  # "process" (subprocesses) | "task" (in-process)
+
+    def validate(self) -> "NetRunConfig":
+        if self.time_scale <= 0:
+            raise NetRuntimeError("time_scale must be positive")
+        if self.spawn not in ("process", "task"):
+            raise NetRuntimeError(f"unknown spawn mode {self.spawn!r}")
+        return self
+
+
+@dataclass
+class NetRunResult:
+    """Everything observable after one networked run."""
+
+    result: SimulationResult
+    report: SafetyReport
+    run_dir: str
+    port: int
+    kills: int = 0
+    restarts: int = 0
+    node_reports: dict[str, dict] = field(default_factory=dict)
+    outcome: str = "quiescent"  # or "timeout"
+
+
+class _NodeHandle:
+    """One party's live process (or in-process task) and its respawn recipe."""
+
+    def __init__(self, name: str, cfg: NodeConfig, run_dir: str, mode: str) -> None:
+        self.name = name
+        self.cfg = cfg
+        self.run_dir = run_dir
+        self.mode = mode
+        self.proc: subprocess.Popen[bytes] | None = None
+        self.task: asyncio.Task[int] | None = None
+        self.pids: list[int] = []
+
+    def spawn(self) -> None:
+        if self.mode == "task":
+            self.task = asyncio.ensure_future(run_node(self.cfg))
+            return
+        src_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        argv = [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "client",
+            self.cfg.spec_path,
+            "--party",
+            self.cfg.party,
+            "--host",
+            self.cfg.host,
+            "--port",
+            str(self.cfg.port),
+            "--wal",
+            self.cfg.wal_path,
+            "--working-capital",
+            str(self.cfg.working_capital_cents),
+        ]
+        if self.cfg.deadline is not None:
+            argv += ["--deadline", str(self.cfg.deadline)]
+        if self.cfg.withhold is not None:
+            argv += ["--withhold", str(self.cfg.withhold)]
+        log_path = os.path.join(self.run_dir, "logs", f"{self.name}.log")
+        os.makedirs(os.path.dirname(log_path), exist_ok=True)
+        with open(log_path, "ab") as log:
+            self.proc = subprocess.Popen(
+                argv, stdout=log, stderr=subprocess.STDOUT, env=env
+            )
+        self.pids.append(self.proc.pid)
+
+    def kill(self) -> None:
+        """A real crash: SIGKILL for processes, cancellation for tasks."""
+        if self.mode == "task":
+            if self.task is not None:
+                self.task.cancel()
+                self.task = None
+            return
+        if self.proc is not None and self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait()
+        self.proc = None
+
+    def reap(self) -> None:
+        if self.task is not None:
+            self.task.cancel()
+            self.task = None
+        if self.proc is not None:
+            if self.proc.poll() is None:
+                self.proc.terminate()
+                try:
+                    self.proc.wait(timeout=5)
+                except subprocess.TimeoutExpired:
+                    self.proc.kill()
+                    self.proc.wait()
+            self.proc = None
+
+
+async def _run(
+    problem: ExchangeProblem,
+    run_dir: str,
+    config: NetRunConfig,
+    fault_plan: FaultPlan | None,
+    adversaries: dict[str, int] | None,
+    seed: "int | float | None",
+) -> NetRunResult:
+    config = config.validate()
+    protocol = bootstrap.derive_protocol(problem, config.deadline)
+    if fault_plan is not None:
+        fault_plan = fault_plan.validate()
+        bootstrap.check_plan_targets(problem, protocol, fault_plan)
+    adversaries = adversaries or {}
+    for name in adversaries:
+        bootstrap.find_party(problem, protocol, name)  # raises on unknown
+
+    os.makedirs(run_dir, exist_ok=True)
+    spec_path = os.path.join(run_dir, "problem.spec")
+    with open(spec_path, "w", encoding="utf-8") as fh:
+        fh.write(format_problem(problem))
+
+    principals = [p.name for p in problem.interaction.principals]
+    trusted = [p.name for p in protocol.trusted_specs]
+    everyone = principals + trusted
+    scale = config.time_scale
+
+    proxy = NetFaultProxy(
+        expected=frozenset(everyone),
+        plan=fault_plan,
+        latency=config.latency,
+        time_scale=scale,
+    )
+    port = await proxy.start(config.host, config.port)
+
+    handles: dict[str, _NodeHandle] = {}
+    for name in everyone:
+        cfg = NodeConfig(
+            spec_path=spec_path,
+            party=name,
+            host=config.host,
+            port=port,
+            wal_path=os.path.join(run_dir, "wal", f"{name}.wal"),
+            deadline=config.deadline,
+            working_capital_cents=config.working_capital_cents,
+            withhold=adversaries.get(name),
+        )
+        handles[name] = _NodeHandle(name, cfg, run_dir, config.spawn)
+
+    kills = 0
+    restarts = 0
+    pending_restarts = 0
+    fault_tasks: list[asyncio.Task[None]] = []
+
+    async def _enact(fault_party: str, crash_at: float, restart_at: float | None) -> None:
+        nonlocal kills, restarts, pending_restarts
+        assert proxy.epoch_wall is not None
+        await asyncio.sleep(max(0.0, proxy.epoch_wall + crash_at * scale - time.time()))
+        handles[fault_party].kill()
+        kills += 1
+        if restart_at is None:
+            proxy.dead.add(fault_party)
+            return
+        pending_restarts += 1
+        try:
+            await asyncio.sleep(
+                max(0.0, proxy.epoch_wall + restart_at * scale - time.time())
+            )
+            handles[fault_party].spawn()
+            restarts += 1
+        finally:
+            pending_restarts -= 1
+
+    outcome = "quiescent"
+    try:
+        for handle in handles.values():
+            handle.spawn()
+        ready = await proxy.wait_connected(
+            frozenset(everyone), timeout=config.ready_timeout
+        )
+        if not ready:
+            missing = sorted(frozenset(everyone) - proxy._conns.keys())
+            raise NetRuntimeError(
+                f"nodes never connected within {config.ready_timeout}s: {missing}"
+            )
+        proxy.open_for_business()
+
+        if fault_plan is not None:
+            for fault in fault_plan.parties:
+                fault_tasks.append(
+                    asyncio.ensure_future(
+                        _enact(fault.party, fault.crash_at, fault.restart_at)
+                    )
+                )
+
+        # Quiescence: no pending restarts, nothing in flight (stranded mail
+        # of the permanently dead excluded), no armed trusted deadline, and
+        # a quiet period of wall silence — with a hard sim-time cap.
+        quiet_wall = max(config.quiet_period * scale, 0.25)
+        while True:
+            await asyncio.sleep(min(0.05, quiet_wall / 4))
+            if proxy.now_sim() > config.max_sim_time:
+                outcome = "timeout"
+                break
+            if pending_restarts:
+                continue
+            if proxy.in_flight_keys(ignoring=frozenset(proxy.dead)):
+                continue
+            live_trusted = [t for t in trusted if t not in proxy.dead]
+            if any(t not in proxy.reports for t in live_trusted):
+                continue
+            if proxy.armed_trusted():
+                continue
+            if time.monotonic() - proxy.last_activity < quiet_wall:
+                continue
+            break
+
+        proxy.broadcast_shutdown()
+        await asyncio.sleep(0.1)
+    finally:
+        for task in fault_tasks:
+            task.cancel()
+        for handle in handles.values():
+            handle.reap()
+        await proxy.close()
+
+    stranded = proxy.resolve_stranded()
+    duration = proxy.now_sim()
+
+    # ------------------------------------------------------------- assembly
+    ledger = bootstrap.build_initial_ledger(
+        problem, protocol, config.working_capital_cents
+    )
+    initial = ledger.seal()
+    delivered = proxy.delivered_actions()
+    for action in delivered:
+        ledger.apply(action)
+        ledger.check()  # conservation, live at every step
+    final = ledger.snapshot()
+
+    completed = frozenset(
+        party
+        for party in protocol.trusted_specs
+        if proxy.reports.get(party.name, {}).get("phase") == "completed"
+    )
+    reversed_agents = frozenset(
+        party
+        for party in protocol.trusted_specs
+        if proxy.reports.get(party.name, {}).get("phase") == "reversed"
+    )
+    provenance = RunProvenance(
+        problem_name=problem.name,
+        seed=seed,
+        fault_seed=fault_plan.seed if fault_plan is not None else None,
+        fault_digest=fault_plan.digest() if fault_plan is not None else None,
+        latency=config.latency,
+        deadline=max(
+            (s.deadline for s in protocol.trusted_specs.values() if s.deadline),
+            default=None,
+        ),
+        working_capital_cents=config.working_capital_cents,
+    )
+    result = SimulationResult(
+        problem_name=problem.name,
+        duration=duration,
+        initial=initial,
+        final=final,
+        stats=proxy.stats,
+        delivered=delivered,
+        completed_agents=completed,
+        reversed_agents=reversed_agents,
+        provenance=provenance,
+        stranded_messages=stranded,
+        quiescent=(outcome == "quiescent" and stranded == 0),
+    )
+    report = evaluate_safety(problem, result)
+    _write_artifacts(run_dir, proxy, result, report)
+    return NetRunResult(
+        result=result,
+        report=report,
+        run_dir=run_dir,
+        port=port,
+        kills=kills,
+        restarts=restarts,
+        node_reports=dict(proxy.reports),
+        outcome=outcome,
+    )
+
+
+def _snapshot_json(snapshot: "object") -> dict:
+    balances = getattr(snapshot, "balances")
+    holdings = getattr(snapshot, "holdings")
+    return {
+        "balances": {party.name: cents for party, cents in sorted(
+            balances.items(), key=lambda kv: kv[0].name
+        )},
+        "holdings": dict(sorted(
+            (label, holder.name) for label, holder in holdings.items()
+        )),
+    }
+
+
+def _write_artifacts(
+    run_dir: str,
+    proxy: NetFaultProxy,
+    result: SimulationResult,
+    report: SafetyReport,
+) -> None:
+    with open(os.path.join(run_dir, "deliveries.jsonl"), "wb") as fh:
+        for record in proxy.delivery_log:
+            fh.write(encode_json(record.to_json()) + b"\n")
+    provenance = result.provenance
+    assert provenance is not None
+    with open(os.path.join(run_dir, "provenance.json"), "w", encoding="utf-8") as out:
+        json.dump(
+            {
+                "problem_name": provenance.problem_name,
+                "seed": provenance.seed,
+                "fault_seed": provenance.fault_seed,
+                "fault_digest": provenance.fault_digest,
+                "latency": provenance.latency,
+                "deadline": provenance.deadline,
+                "working_capital_cents": provenance.working_capital_cents,
+                "duration": result.duration,
+                "quiescent": result.quiescent,
+                "stranded_messages": result.stranded_messages,
+                "initial": _snapshot_json(result.initial),
+                "final": _snapshot_json(result.final),
+                "final_digest": result.final.digest(),
+            },
+            out,
+            indent=2,
+            sort_keys=True,
+        )
+    with open(os.path.join(run_dir, "safety.json"), "w", encoding="utf-8") as out:
+        json.dump(
+            {
+                "problem_name": report.problem_name,
+                "verdicts": [
+                    {
+                        "party": v.party.name,
+                        "ok": v.ok,
+                        "reasons": list(v.reasons),
+                        "money_delta_cents": v.money_delta_cents,
+                    }
+                    for v in report.verdicts
+                ],
+            },
+            out,
+            indent=2,
+            sort_keys=True,
+        )
+
+
+def run_networked_exchange(
+    problem: ExchangeProblem,
+    run_dir: str,
+    config: NetRunConfig = NetRunConfig(),
+    fault_plan: FaultPlan | None = None,
+    adversaries: dict[str, int] | None = None,
+    seed: "int | float | None" = None,
+) -> NetRunResult:
+    """Drive *problem* end-to-end over real sockets; blocks until done."""
+    return asyncio.run(
+        _run(problem, run_dir, config, fault_plan, adversaries, seed)
+    )
+
+
+def trusted_parties(problem: ExchangeProblem, deadline: float | None) -> list[Party]:
+    """The trusted components a run of *problem* will spawn (for harnesses)."""
+    return list(bootstrap.derive_protocol(problem, deadline).trusted_specs)

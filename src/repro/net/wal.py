@@ -1,0 +1,87 @@
+"""Per-node append-only JSONL write-ahead log with crash-recovery replay.
+
+Discipline (the whole point, so it is spelled out):
+
+* **log-then-send** — a node appends a ``send`` record *before* the act
+  frame reaches the socket, and a ``recv`` record before a delivered
+  action touches the protocol core.  A SIGKILL between the append and the
+  side effect therefore loses at most the side effect, never the record
+  of intent — replay regenerates the side effect.
+* **dedup by envelope key** — ``recv`` keys replayed into the core are
+  remembered, so a redelivered copy after restart is suppressed exactly
+  like a duplicate envelope in the simulator.
+* **truncated tails are expected** — a crash can cut the final line mid
+  JSON.  :func:`replay` drops an undecodable *last* line silently; an
+  undecodable line anywhere else is corruption and raises.
+
+Records are canonical JSON objects (sorted keys) with a ``"rec"``
+discriminator; see :mod:`repro.net.node` for the vocabulary (``endow``,
+``send``, ``recv``, ``ack``, ``abandon``, ``armed``, ``deadline``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+from repro.errors import NetRuntimeError
+from repro.net.wire import encode_json
+
+
+class WriteAheadLog:
+    """An append-only JSONL file, flushed to the OS after every record.
+
+    The crash model is a SIGKILL of the *process* (the host and OS
+    survive), so ``flush()`` — not ``fsync`` — is the durability boundary
+    that matters: once the bytes reach the kernel they outlive the node.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._fh = open(path, "ab")
+
+    def append(self, record: dict[str, Any]) -> None:
+        if "rec" not in record:
+            raise NetRuntimeError(f"WAL record lacks a 'rec' discriminator: {record!r}")
+        self._fh.write(encode_json(record) + b"\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        self._fh.close()
+
+
+def replay(path: str) -> list[dict[str, Any]]:
+    """Parse the records of the WAL at *path*, tolerating a truncated tail.
+
+    Returns ``[]`` for a missing or empty file.  Raises
+    :class:`NetRuntimeError` on corruption anywhere but the final line —
+    a torn tail is a crash artifact, a torn middle is not.
+    """
+    try:
+        with open(path, "rb") as fh:
+            raw = fh.read()
+    except FileNotFoundError:
+        return []
+    if not raw:
+        return []
+    lines = raw.split(b"\n")
+    if lines and lines[-1] == b"":
+        lines.pop()  # trailing newline: the last record was fully written
+    records: list[dict[str, Any]] = []
+    for index, line in enumerate(lines):
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            if index == len(lines) - 1:
+                break  # torn tail: the crash interrupted the final append
+            raise NetRuntimeError(
+                f"corrupt WAL record at {path}:{index + 1}: {line[:80]!r}"
+            ) from exc
+        if not isinstance(record, dict) or "rec" not in record:
+            raise NetRuntimeError(f"WAL line {index + 1} of {path} is not a record")
+        records.append(record)
+    return records

@@ -28,7 +28,7 @@ semantics are untouched when no fault plan is installed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.core.actions import Action, transfer
@@ -36,6 +36,7 @@ from repro.core.items import Document, Item
 from repro.core.parties import Party
 from repro.core.protocol import PrincipalRole
 from repro.sim.faults import RetryPolicy
+from repro.sim.protocol_core import PrincipalCore
 
 if TYPE_CHECKING:
     from repro.sim.network import Envelope
@@ -109,10 +110,19 @@ class PrincipalAgent(ResilientNode):
         self.party = party
         self.role = role
         self.runtime = runtime
-        self.observed: set[Action] = set()
+        self.core = PrincipalCore(role, permits=self._permits, transform=self._transform)
         self.sent: list[Action] = []
-        self._next_instruction = 0
         self._init_resilience()
+
+    # ----------------------------------------------------- state (core views)
+
+    @property
+    def observed(self) -> set[Action]:
+        return self.core.observed
+
+    @property
+    def _next_instruction(self) -> int:
+        return self.core.next_instruction
 
     def start(self) -> None:
         """Called once when the simulation begins."""
@@ -128,28 +138,27 @@ class PrincipalAgent(ResilientNode):
         """
         if self._is_duplicate(key):
             return
-        self.observed.add(replace(action, deadline=None))
+        self.core.observe(action)
         self._try_fire()
 
     # ------------------------------------------------------------ scheduling
 
     def _try_fire(self) -> None:
-        """Fire instructions in order while their guards are satisfied."""
-        while self._next_instruction < len(self.role.instructions):
-            instruction = self.role.instructions[self._next_instruction]
-            if not instruction.ready(self.observed):
-                return
-            if not self._permits(self._next_instruction, instruction.action):
-                return
-            action = self._transform(instruction.action)
-            if action is not None:
-                if not self.runtime.ledger.can_transfer(
-                    self.party, action.item
-                ):
-                    return  # wait until the asset arrives
-                self._send(action)
-                self.sent.append(action)
-            self._next_instruction += 1
+        """Drain the core: fire instructions while their guards hold.
+
+        The instruction-walking logic itself lives in the transport-agnostic
+        :class:`~repro.sim.protocol_core.PrincipalCore` (shared with the
+        socket runtime); this runtime contributes the ledger custody check
+        and the envelope dispatch.
+        """
+        self.core.drain(holds=self._holds, emit=self._emit)
+
+    def _holds(self, action: Action) -> bool:
+        return self.runtime.ledger.can_transfer(self.party, action.item)
+
+    def _emit(self, action: Action) -> None:
+        self._send(action)
+        self.sent.append(action)
 
     # ------------------------------------------------------------- extension
 

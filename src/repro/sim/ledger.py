@@ -14,6 +14,7 @@ harness, not modeled misbehaviour, so it raises :class:`SimulationError`.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 from repro.core.actions import Action
@@ -42,6 +43,28 @@ class LedgerSnapshot:
 
     def documents_of(self, party: Party) -> frozenset[str]:
         return frozenset(label for label, holder in self.holdings.items() if holder == party)
+
+    def digest(self) -> str:
+        """A short stable fingerprint of the snapshot, order-independent.
+
+        Two snapshots digest equal iff every party holds the same balance
+        and every document the same holder — the equality the crash-recovery
+        oracle asserts across runtimes (simulator vs. socket runtime) and
+        across a SIGKILL/WAL-replay boundary.  A party with a zero balance
+        digests identically to one absent from the snapshot: "has no money"
+        is one state, however a runtime happens to record it.
+        """
+        canonical = repr(
+            (
+                sorted(
+                    (party.name, cents)
+                    for party, cents in self.balances.items()
+                    if cents != 0
+                ),
+                sorted((label, holder.name) for label, holder in self.holdings.items()),
+            )
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
 
 class Ledger:

@@ -16,26 +16,35 @@ A trusted component:
 
 The agent never originates value: every outgoing asset entered it first.
 
-Under fault injection the agent inherits :class:`ResilientNode`: duplicate
-deliveries of the same deposit envelope are suppressed (rather than bounced
-as §2.5 over-deposits), outgoing releases and reversals are retried under
-the backoff policy, and the deadline timer is crash-deferred — if the
-component's process is down when the deadline passes, the reversal fires at
-restart, which is exactly the "partial-deposit + crash" interleaving the
-chaos harness exercises.
+The escrow *decision logic* lives in the transport-agnostic
+:class:`~repro.sim.protocol_core.TrustedCore`, shared verbatim with the
+socket runtime (:mod:`repro.net`); this class is the simulator's
+interpreter for the core's effects.  Under fault injection it inherits
+:class:`ResilientNode`: duplicate deliveries of the same deposit envelope
+are suppressed (rather than bounced as §2.5 over-deposits), outgoing
+releases and reversals are retried under the backoff policy, and the
+deadline timer is crash-deferred — if the component's process is down when
+the deadline passes, the reversal fires at restart, which is exactly the
+"partial-deposit + crash" interleaving the chaos harness exercises.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import TYPE_CHECKING
 
-from repro.core.actions import Action, notify, transfer
-from repro.core.items import Money
+from repro.core.actions import Action
 from repro.core.parties import Party
 from repro.core.protocol import TrustedExchangeSpec
 from repro.sim.agents import ResilientNode
 from repro.sim.faults import RetryPolicy
+from repro.sim.protocol_core import (
+    ArmDeadline,
+    DisarmDeadline,
+    Effect,
+    NotifyEffect,
+    SendEffect,
+    TrustedCore,
+)
 
 if TYPE_CHECKING:
     from repro.sim.runtime import SimulationRuntime
@@ -52,14 +61,35 @@ class TrustedAgent(ResilientNode):
         self.spec = spec
         self.party = spec.agent
         self.runtime = runtime
-        self.received: dict[Party, Action] = {}
-        self.escrows: dict[Party, Action] = {}  # offeror -> escrow deposit
-        self.completed = False
-        self.reversed = False
-        self.notified: set[Party] = set()
-        self.rejected: list[Action] = []
+        self.core = TrustedCore(spec)
         self._timeout_event = None
         self._init_resilience()
+
+    # ----------------------------------------------------- state (core views)
+
+    @property
+    def received(self) -> dict[Party, Action]:
+        return self.core.received
+
+    @property
+    def escrows(self) -> dict[Party, Action]:
+        return self.core.escrows
+
+    @property
+    def completed(self) -> bool:
+        return self.core.completed
+
+    @property
+    def reversed(self) -> bool:
+        return self.core.reversed
+
+    @property
+    def notified(self) -> set[Party]:
+        return self.core.notified
+
+    @property
+    def rejected(self) -> list[Action]:
+        return self.core.rejected
 
     def start(self) -> None:
         """Nothing to do until a deposit arrives."""
@@ -69,83 +99,35 @@ class TrustedAgent(ResilientNode):
     def receive(self, action: Action, key: int | None = None) -> None:
         if self._is_duplicate(key):
             return  # a re-delivered copy, not a fresh over-deposit
-        if not action.is_transfer or action.inverted:
-            return  # notifies / stray reversals carry no escrow duty
-        assert action.item is not None
-        sender = action.effective_sender
-        if self._is_escrow(sender, action):
-            self.escrows[sender] = action
-            return
-        expected = dict(self.spec.deposits).get(sender)
-        if (
-            expected is None
-            or action.item != expected
-            or self.completed
-            or self.reversed
-            or sender in self.received
-        ):
-            # Unknown depositor, wrong item, duplicate, or too late: send it
-            # straight back (§2.5: a trusted component may reverse actions
-            # in which it was the recipient).
-            self.rejected.append(action)
-            self._dispatch(action.inverse())
-            return
-        self.received[sender] = action
-        self._arm_timeout()
-        self._progress()
+        self._apply(self.core.on_receive(action))
 
-    def _is_escrow(self, sender: Party, action: Action) -> bool:
-        for offer in self.spec.indemnities:
-            if (
-                sender == offer.offeror
-                and isinstance(action.item, Money)
-                and action.item.cents == offer.amount_cents
-                and "indemnity" in action.item.label
-            ):
-                return True
-        return False
+    # ------------------------------------------------------------- interpret
 
-    # -------------------------------------------------------------- progress
+    def _apply(self, effects: list[Effect]) -> None:
+        """Map core effects onto the simulator's transport and timers.
 
-    def _progress(self) -> None:
-        pending = [p for p, _ in self.spec.deposits if p not in self.received]
-        if not pending:
-            self._complete()
-        elif len(pending) == 1 and pending[0] not in self.notified:
-            self.notified.add(pending[0])
-            # §2.5: the notification carries an expiry — "the earliest
-            # expiration of the other pieces held for the exchange".  If the
-            # notified principal complies before it, completion is assured.
-            expiry = self._timeout_event.time if self._timeout_event else None
-            notice = notify(self.party, pending[0])
-            if expiry is not None:
-                notice = replace(notice, deadline=expiry)
-            self._dispatch(notice)
-
-    def _complete(self) -> None:
-        self.completed = True
-        self._disarm_timeout()
-        releases = [
-            transfer(self.party, principal, item)
-            for principal, item in self.spec.entitlements
-        ]
-        releases.sort(
-            key=lambda a: (isinstance(a.item, Money), a.recipient.name)
-        )
-        for release in releases:
-            self._dispatch(release)
-        for escrow in self.escrows.values():
-            self._dispatch(escrow.inverse())  # refund on success
-        self.escrows.clear()
+        Order is preserved: the deadline is armed *before* the notify it
+        may stamp, and disarmed before the completion releases go out.
+        """
+        for effect in effects:
+            if isinstance(effect, ArmDeadline):
+                self._arm_timeout(effect.duration)
+            elif isinstance(effect, DisarmDeadline):
+                self._disarm_timeout()
+            elif isinstance(effect, NotifyEffect):
+                expiry = self._timeout_event.time if self._timeout_event is not None else None
+                self._dispatch(self.core.expiry_notice(effect.principal, expiry))
+            elif isinstance(effect, SendEffect):
+                self._dispatch(effect.action)
 
     # --------------------------------------------------------------- timeout
 
-    def _arm_timeout(self) -> None:
-        if self.spec.deadline is None or self._timeout_event is not None:
+    def _arm_timeout(self, duration: float) -> None:
+        if self._timeout_event is not None:
             return
         self._timeout_event = self.runtime.schedule_for(
             self.party,
-            self.spec.deadline,
+            duration,
             self._on_timeout,
             label=f"timeout@{self.party.name}",
         )
@@ -156,26 +138,4 @@ class TrustedAgent(ResilientNode):
             self._timeout_event = None
 
     def _on_timeout(self) -> None:
-        if self.completed or self.reversed:
-            return
-        self.reversed = True
-        self._settle_indemnities()
-        for deposit in self.received.values():
-            self._dispatch(deposit.inverse())
-        self.received.clear()
-
-    def _settle_indemnities(self) -> None:
-        for offer in self.spec.indemnities:
-            escrow = self.escrows.pop(offer.offeror, None)
-            if escrow is None:
-                continue
-            beneficiary_performed = offer.beneficiary in self.received
-            offeror_performed = offer.offeror in self.received
-            if beneficiary_performed and not offeror_performed:
-                # Forfeit: hand the escrowed sum to the beneficiary.
-                assert escrow.item is not None
-                self._dispatch(
-                    transfer(self.party, offer.beneficiary, escrow.item)
-                )
-            else:
-                self._dispatch(escrow.inverse())
+        self._apply(self.core.on_deadline())

@@ -1,0 +1,33 @@
+"""Differential parity: seeded fault plans through simulator and sockets.
+
+Marked ``net``: run with ``pytest -m net``.  Acceptance bar of the socket
+runtime: across ≥20 seeds, the same seeded :class:`FaultPlan` yields the
+same per-party safety verdicts in the in-process simulator and over real
+sockets with real process kills, with money conserved end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conformance.netparity import ParityConfig, parity_cases, run_parity_case
+
+pytestmark = pytest.mark.net
+
+SEEDS = 20
+
+
+def test_twenty_seed_parity(tmp_path):
+    config = ParityConfig(spawn="process", time_scale=0.01)
+    verdicts = [
+        run_parity_case(case, str(tmp_path / f"case{case.index}"), config)
+        for case in parity_cases(SEEDS, master_seed=1996)
+    ]
+    simulated = [v for v in verdicts if v.simulated]
+    assert len(simulated) >= SEEDS // 2  # most random problems are feasible
+    mismatched = [v.describe() for v in simulated if not v.ok]
+    assert not mismatched, mismatched
+    assert all(v.net_outcome == "quiescent" for v in simulated)
+    # The sweep must have exercised real process faults, not just clean runs.
+    assert any(v.kills >= 1 for v in simulated)
+    assert any(v.sim_safe and v.net_safe for v in simulated)

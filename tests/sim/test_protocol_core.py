@@ -1,0 +1,192 @@
+"""Unit tests of the transport-agnostic protocol cores.
+
+These exercise :mod:`repro.sim.protocol_core` directly — no network, no
+event queue — because the cores' determinism contract (same observations
+in, same effects out) is what both the simulator and the socket runtime's
+WAL replay stand on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.actions import Action, notify
+from repro.core.items import Money
+from repro.net import bootstrap
+from repro.sim.protocol_core import (
+    ArmDeadline,
+    DisarmDeadline,
+    NotifyEffect,
+    PrincipalCore,
+    SendEffect,
+    TrustedCore,
+)
+from repro.workloads import example1, simple_purchase
+
+DEADLINE = 60.0
+
+
+def _roles(problem):
+    protocol = bootstrap.derive_protocol(problem, DEADLINE)
+    return {party.name: role for party, role in protocol.roles.items()}
+
+
+def _trusted_spec(problem):
+    protocol = bootstrap.derive_protocol(problem, DEADLINE)
+    return next(iter(protocol.trusted_specs.values()))
+
+
+def _collect(core: PrincipalCore, holds=lambda a: True) -> list[Action]:
+    emitted: list[Action] = []
+    core.drain(holds=holds, emit=emitted.append)
+    return emitted
+
+
+# ------------------------------------------------------------ principal core
+
+
+def test_unguarded_instruction_fires_immediately():
+    role = _roles(simple_purchase())["Customer"]
+    core = PrincipalCore(role)
+    emitted = _collect(core)
+    assert len(emitted) == 1
+    assert emitted[0].is_transfer
+    assert core.exhausted
+    assert _collect(core) == []  # never re-fires
+
+
+def test_guarded_instruction_waits_for_preconditions():
+    role = _roles(example1())["Broker"]
+    core = PrincipalCore(role)
+    assert _collect(core) == []  # both instructions guarded
+    first = role.instructions[0]
+    for precondition in first.preconditions:
+        core.observe(precondition)
+    emitted = _collect(core)
+    assert emitted == [first.action]
+    assert not core.exhausted  # the second instruction is still guarded
+
+
+def test_observe_strips_deadline_stamp():
+    role = _roles(example1())["Broker"]
+    core = PrincipalCore(role)
+    first = role.instructions[0]
+    for precondition in first.preconditions:
+        core.observe(replace(precondition, deadline=42.0))  # live §2.5 stamp
+    assert _collect(core) == [first.action]
+
+
+def test_holds_gate_blocks_without_advancing():
+    role = _roles(simple_purchase())["Customer"]
+    core = PrincipalCore(role)
+    assert _collect(core, holds=lambda a: False) == []
+    assert core.next_instruction == 0
+    assert _collect(core) == [role.instructions[0].action]
+
+
+def test_permits_hook_withholds():
+    role = _roles(simple_purchase())["Customer"]
+    core = PrincipalCore(role, permits=lambda position, action: False)
+    assert _collect(core) == []
+    assert not core.exhausted
+
+
+def test_transform_none_skips_but_advances():
+    role = _roles(simple_purchase())["Customer"]
+    core = PrincipalCore(role, transform=lambda action: None)
+    assert _collect(core) == []
+    assert core.exhausted  # skipped silently, instruction consumed
+
+
+def test_same_observations_same_emissions():
+    role = _roles(example1())["Broker"]
+    observations = [p for i in role.instructions for p in i.preconditions]
+    runs = []
+    for _ in range(2):
+        core = PrincipalCore(role)
+        emitted: list[Action] = []
+        for observation in observations:
+            core.observe(observation)
+            core.drain(holds=lambda a: True, emit=emitted.append)
+        runs.append(emitted)
+    assert runs[0] == runs[1]
+    assert runs[0]  # the sequence is non-trivial
+
+
+# -------------------------------------------------------------- trusted core
+
+
+def _deposit(spec, index: int) -> Action:
+    principal, item = spec.deposits[index]
+    from repro.core.actions import transfer
+
+    return transfer(principal, spec.agent, item)
+
+
+def test_first_deposit_arms_and_notifies_last_outstanding():
+    spec = _trusted_spec(simple_purchase())
+    core = TrustedCore(spec)
+    effects = core.on_receive(_deposit(spec, 0))
+    assert effects[0] == ArmDeadline(DEADLINE)
+    assert isinstance(effects[1], NotifyEffect)
+    assert effects[1].principal == spec.deposits[1][0]
+    assert not core.completed
+
+
+def test_completion_releases_goods_before_money():
+    spec = _trusted_spec(simple_purchase())
+    core = TrustedCore(spec)
+    core.on_receive(_deposit(spec, 0))
+    effects = core.on_receive(_deposit(spec, 1))
+    assert effects[0] == ArmDeadline(DEADLINE)
+    assert effects[1] == DisarmDeadline()
+    releases = [e.action for e in effects[2:] if isinstance(e, SendEffect)]
+    assert len(releases) == len(spec.entitlements)
+    money_positions = [
+        i for i, a in enumerate(releases) if isinstance(a.item, Money)
+    ]
+    document_positions = [
+        i for i, a in enumerate(releases) if not isinstance(a.item, Money)
+    ]
+    assert all(d < m for d in document_positions for m in money_positions)
+    assert core.completed and not core.reversed
+
+
+def test_duplicate_and_late_deposits_bounce():
+    spec = _trusted_spec(simple_purchase())
+    core = TrustedCore(spec)
+    first = _deposit(spec, 0)
+    core.on_receive(first)
+    effects = core.on_receive(first)  # duplicate
+    assert effects == [SendEffect(first.inverse())]
+    assert core.rejected == [first]
+
+
+def test_notifies_carry_no_escrow_duty():
+    spec = _trusted_spec(simple_purchase())
+    core = TrustedCore(spec)
+    principal = spec.deposits[0][0]
+    assert core.on_receive(notify(spec.agent, principal)) == []
+    assert not core.received
+
+
+def test_deadline_reverses_every_deposit_once():
+    spec = _trusted_spec(simple_purchase())
+    core = TrustedCore(spec)
+    deposit = _deposit(spec, 0)
+    core.on_receive(deposit)
+    effects = core.on_deadline()
+    assert effects == [SendEffect(deposit.inverse())]
+    assert core.reversed and not core.received
+    assert core.on_deadline() == []  # idempotent
+    late = _deposit(spec, 1)
+    assert core.on_receive(late) == [SendEffect(late.inverse())]
+
+
+def test_expiry_notice_carries_stamp():
+    spec = _trusted_spec(simple_purchase())
+    core = TrustedCore(spec)
+    principal = spec.deposits[0][0]
+    stamped = core.expiry_notice(principal, 42.0)
+    assert stamped.deadline == 42.0
+    assert core.expiry_notice(principal, None).deadline is None

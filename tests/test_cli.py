@@ -332,3 +332,38 @@ class TestLint:
         out = capsys.readouterr().out
         assert "SPECW001" in out
         assert "warning" in out
+
+class TestServe:
+    def test_task_mode_run_is_safe(self, tmp_path, capsys):
+        run_dir = str(tmp_path / "serve_run")
+        assert (
+            main(
+                [
+                    "serve",
+                    "--example",
+                    "simple-purchase",
+                    "--run-dir",
+                    run_dir,
+                    "--spawn",
+                    "task",
+                    "--time-scale",
+                    "0.005",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "served simple-purchase on port" in out
+        assert "[OK ] Customer" in out
+        import os
+
+        assert os.path.exists(os.path.join(run_dir, "provenance.json"))
+
+    def test_infeasible_problem_refused(self, capsys):
+        assert main(["serve", "--example", "example2", "--spawn", "task"]) == 2
+        assert "infeasible" in capsys.readouterr().err
+
+    def test_client_requires_port(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["client", "some.spec", "--party", "X"])
+
