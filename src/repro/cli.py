@@ -395,11 +395,16 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.errors import StaticCheckError
     from repro.staticcheck import (
+        apply_baseline,
         error_count,
         lint_paths,
+        load_baseline,
         render_human,
         render_json,
+        render_sarif,
+        write_baseline,
     )
 
     select = (
@@ -408,11 +413,24 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         else None
     )
     findings = lint_paths(args.paths, select=select)
+    if args.write_baseline:
+        if args.baseline is None:
+            raise StaticCheckError("--write-baseline requires --baseline PATH")
+        count = write_baseline(args.baseline, findings)
+        print(f"recorded {count} finding(s) in {args.baseline}")
+        return 0
+    suppressed = 0
+    if args.baseline is not None:
+        findings, suppressed = apply_baseline(findings, load_baseline(args.baseline))
     if args.format == "json":
         print(render_json(findings))
+    elif args.format == "sarif":
+        print(render_sarif(findings))
     else:
         for line in render_human(findings, fix_suggestions=args.fix_suggestions):
             print(line)
+        if suppressed:
+            print(f"({suppressed} baselined finding(s) suppressed)")
     return 1 if error_count(findings) else 0
 
 
@@ -770,7 +788,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="files or directories to lint (default: src)",
     )
-    p.add_argument("--format", choices=["human", "json"], default="human")
+    p.add_argument("--format", choices=["human", "json", "sarif"], default="human")
     p.add_argument(
         "--fix-suggestions",
         action="store_true",
@@ -780,6 +798,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--select",
         metavar="RULES",
         help="comma-separated rule codes to run (default: every rule)",
+    )
+    p.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="suppress findings recorded in FILE; only regressions fail",
+    )
+    p.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record the current findings to --baseline FILE and exit 0",
     )
     p.set_defaults(handler=_cmd_lint)
 

@@ -54,6 +54,40 @@ class FuzzConfig:
     max_principals: int = 10
     max_exchanges: int = 7
     flat_arm: bool = True
+    #: run the flow-sensitive lint rules over repro/net before fuzzing.
+    preflight: bool = True
+
+
+#: The flow rules (DESIGN.md §14) the fuzz preflight enforces statically.
+FLOW_RULE_CODES = ("ASY001", "ASY002", "LEDG001", "NET001")
+
+
+def flow_preflight(paths: tuple[str, ...] | None = None) -> None:
+    """Statically verify the runtime's ordering disciplines before fuzzing.
+
+    The fuzz sweep exercises the socket runtime dynamically; the flow
+    rules prove the same disciplines (log-then-act, await interleaving,
+    custody conservation) statically.  Running them first means a sweep
+    never spends minutes hammering a runtime whose invariants are already
+    visibly broken — the failure surfaces in seconds, with a line number.
+
+    Raises :class:`~repro.errors.StaticCheckError` on any finding.
+    """
+    # Imported lazily: staticcheck is otherwise not a conformance dependency.
+    from repro.errors import StaticCheckError
+    from repro.staticcheck import error_count, lint_paths, render_human
+
+    if paths is None:
+        import repro.net as net_pkg
+
+        paths = (os.path.dirname(os.path.abspath(net_pkg.__file__)),)
+    findings = lint_paths(list(paths), select=FLOW_RULE_CODES)
+    if error_count(findings):
+        details = "\n".join(render_human(findings))
+        raise StaticCheckError(
+            "flow preflight failed — the runtime violates its ordering "
+            f"disciplines; fix these before fuzzing:\n{details}"
+        )
 
 
 @dataclass(frozen=True)
@@ -295,6 +329,8 @@ def run_fuzz(config: FuzzConfig, processes: int | None = None) -> FuzzReport:
     :func:`repro.analysis.batch.instrumented_map` for the determinism
     argument.
     """
+    if config.preflight:
+        flow_preflight()
     results, metrics = instrumented_map(
         run_case, case_specs(config), processes=processes
     )

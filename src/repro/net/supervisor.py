@@ -45,6 +45,7 @@ from dataclasses import dataclass, field
 import repro
 from repro.core.parties import Party
 from repro.core.problem import ExchangeProblem
+from repro.core.protocol import Protocol
 from repro.errors import NetRuntimeError
 from repro.net import bootstrap
 from repro.net.node import NodeConfig, run_node
@@ -135,7 +136,10 @@ class _NodeHandle:
             argv += ["--withhold", str(self.cfg.withhold)]
         log_path = os.path.join(self.run_dir, "logs", f"{self.name}.log")
         os.makedirs(os.path.dirname(log_path), exist_ok=True)
-        with open(log_path, "ab") as log:
+        # Waived: opening the child's log file is a microsecond-scale local
+        # operation that happens once per (re)spawn — an executor hop would
+        # cost more than the open.  DESIGN.md §14 (waiver policy).
+        with open(log_path, "ab") as log:  # repro: noqa[ASY001]
             self.proc = subprocess.Popen(
                 argv, stdout=log, stderr=subprocess.STDOUT, env=env
             )
@@ -171,25 +175,15 @@ class _NodeHandle:
 async def _run(
     problem: ExchangeProblem,
     run_dir: str,
+    spec_path: str,
+    protocol: Protocol,
     config: NetRunConfig,
     fault_plan: FaultPlan | None,
-    adversaries: dict[str, int] | None,
+    adversaries: dict[str, int],
     seed: "int | float | None",
-) -> NetRunResult:
-    config = config.validate()
-    protocol = bootstrap.derive_protocol(problem, config.deadline)
-    if fault_plan is not None:
-        fault_plan = fault_plan.validate()
-        bootstrap.check_plan_targets(problem, protocol, fault_plan)
-    adversaries = adversaries or {}
-    for name in adversaries:
-        bootstrap.find_party(problem, protocol, name)  # raises on unknown
-
-    os.makedirs(run_dir, exist_ok=True)
-    spec_path = os.path.join(run_dir, "problem.spec")
-    with open(spec_path, "w", encoding="utf-8") as fh:
-        fh.write(format_problem(problem))
-
+) -> tuple[NetRunResult, NetFaultProxy]:
+    # Validation and the run-dir/spec writes happen in the sync caller
+    # (run_networked_exchange) — blocking file I/O has no place on the loop.
     principals = [p.name for p in problem.interaction.principals]
     trusted = [p.name for p in protocol.trusted_specs]
     everyone = principals + trusted
@@ -344,8 +338,7 @@ async def _run(
         quiescent=(outcome == "quiescent" and stranded == 0),
     )
     report = evaluate_safety(problem, result)
-    _write_artifacts(run_dir, proxy, result, report)
-    return NetRunResult(
+    run = NetRunResult(
         result=result,
         report=report,
         run_dir=run_dir,
@@ -355,6 +348,7 @@ async def _run(
         node_reports=dict(proxy.reports),
         outcome=outcome,
     )
+    return run, proxy
 
 
 def _snapshot_json(snapshot: "object") -> dict:
@@ -431,9 +425,36 @@ def run_networked_exchange(
     seed: "int | float | None" = None,
 ) -> NetRunResult:
     """Drive *problem* end-to-end over real sockets; blocks until done."""
-    return asyncio.run(
-        _run(problem, run_dir, config, fault_plan, adversaries, seed)
+    config = config.validate()
+    protocol = bootstrap.derive_protocol(problem, config.deadline)
+    if fault_plan is not None:
+        fault_plan = fault_plan.validate()
+        bootstrap.check_plan_targets(problem, protocol, fault_plan)
+    adversaries = adversaries or {}
+    for name in adversaries:
+        bootstrap.find_party(problem, protocol, name)  # raises on unknown
+
+    os.makedirs(run_dir, exist_ok=True)
+    spec_path = os.path.join(run_dir, "problem.spec")
+    with open(spec_path, "w", encoding="utf-8") as fh:
+        fh.write(format_problem(problem))
+
+    run, proxy = asyncio.run(
+        _run(
+            problem,
+            run_dir,
+            spec_path,
+            protocol,
+            config,
+            fault_plan,
+            adversaries,
+            seed,
+        )
     )
+    # Artifact writes are plain blocking file I/O, so they happen here —
+    # after the loop has shut down — rather than inside the async runtime.
+    _write_artifacts(run_dir, proxy, run.result, run.report)
+    return run
 
 
 def trusted_parties(problem: ExchangeProblem, deadline: float | None) -> list[Party]:

@@ -72,6 +72,7 @@ def replay(path: str) -> list[dict[str, Any]]:
     if lines and lines[-1] == b"":
         lines.pop()  # trailing newline: the last record was fully written
     records: list[dict[str, Any]] = []
+    offset = 0  # byte offset of the current record within the file
     for index, line in enumerate(lines):
         try:
             record = json.loads(line.decode("utf-8"))
@@ -79,9 +80,16 @@ def replay(path: str) -> list[dict[str, Any]]:
             if index == len(lines) - 1:
                 break  # torn tail: the crash interrupted the final append
             raise NetRuntimeError(
-                f"corrupt WAL record at {path}:{index + 1}: {line[:80]!r}"
+                f"corrupt WAL record at {path}:{index + 1} "
+                f"(record {index} of {len(lines)}, byte offset {offset}): "
+                f"{line[:80]!r}"
             ) from exc
         if not isinstance(record, dict) or "rec" not in record:
-            raise NetRuntimeError(f"WAL line {index + 1} of {path} is not a record")
+            raise NetRuntimeError(
+                f"WAL line {index + 1} of {path} "
+                f"(record {index} of {len(lines)}, byte offset {offset}) "
+                "is not a record"
+            )
         records.append(record)
+        offset += len(line) + 1  # the newline the writer appended
     return records

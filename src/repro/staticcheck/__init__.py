@@ -9,8 +9,15 @@ math, no exception-based control flow.  ``repro lint`` is the CLI entry;
 DESIGN.md §10 is the rule catalogue.
 """
 
+from repro.staticcheck.baseline import (
+    apply_baseline,
+    finding_key,
+    load_baseline,
+    write_baseline,
+)
 from repro.staticcheck.context import FileContext
 from repro.staticcheck.engine import (
+    NOQA_RULE,
     PARSE_RULE,
     SPEC_ERROR_RULE,
     error_count,
@@ -21,25 +28,35 @@ from repro.staticcheck.engine import (
     self_check,
 )
 from repro.staticcheck.model import Finding, Severity
-from repro.staticcheck.report import render_human, render_json
+from repro.staticcheck.report import render_human, render_json, render_sarif
 from repro.staticcheck.rules import REGISTRY, Rule, default_rules, register
+
+# Importing the flow rule module registers NET001/ASY001/ASY002/LEDG001 in
+# REGISTRY alongside the per-statement rules (DESIGN.md §14).
+from repro.staticcheck.flow import rules as _flow_rules  # noqa: E402,F401
 
 __all__ = [
     "FileContext",
     "Finding",
+    "NOQA_RULE",
     "PARSE_RULE",
     "REGISTRY",
     "Rule",
     "SPEC_ERROR_RULE",
     "Severity",
+    "apply_baseline",
     "default_rules",
     "error_count",
     "expand_paths",
+    "finding_key",
     "lint_paths",
     "lint_python_source",
     "lint_spec_source",
+    "load_baseline",
     "register",
     "render_human",
     "render_json",
+    "render_sarif",
     "self_check",
+    "write_baseline",
 ]

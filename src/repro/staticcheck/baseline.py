@@ -1,0 +1,91 @@
+"""Finding baselines: accept the recorded debt, fail only on regressions.
+
+``repro lint --write-baseline --baseline f.json`` records the current
+findings; subsequent ``repro lint --baseline f.json`` runs subtract them
+and gate only on what is *new*.  Identity is deliberately line-insensitive
+— ``(path, rule, message)`` with multiplicity — so editing an unrelated
+part of a file does not churn the baseline, while a genuinely new finding
+(or a second copy of an old one) still fails the build.
+
+The file format is versioned JSON with sorted keys, diffable in review
+like every other artifact this repo emits.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Iterable
+
+from repro.errors import StaticCheckError
+from repro.staticcheck.model import Finding
+
+_VERSION = 1
+
+
+def finding_key(finding: Finding) -> str:
+    """Line-insensitive identity: same file, same rule, same message."""
+    path = finding.path.replace("\\", "/")
+    return f"{path}::{finding.rule}::{finding.message}"
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> int:
+    """Record *findings* (with multiplicity) at *path*; returns the count."""
+    counts = Counter(finding_key(finding) for finding in findings)
+    payload = {
+        "version": _VERSION,
+        "entries": dict(sorted(counts.items())),
+    }
+    try:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    except OSError as exc:
+        raise StaticCheckError(f"cannot write baseline {path}: {exc}") from exc
+    return sum(counts.values())
+
+
+def load_baseline(path: str) -> Counter[str]:
+    """Parse a baseline file; usage errors raise :class:`StaticCheckError`."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except OSError as exc:
+        raise StaticCheckError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise StaticCheckError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+        raise StaticCheckError(
+            f"baseline {path} has unsupported format "
+            f"(expected version {_VERSION})"
+        )
+    entries = payload.get("entries")
+    if not isinstance(entries, dict):
+        raise StaticCheckError(f"baseline {path} lacks an 'entries' object")
+    counts: Counter[str] = Counter()
+    for key, value in entries.items():
+        if not isinstance(key, str) or not isinstance(value, int) or value < 1:
+            raise StaticCheckError(f"baseline {path} has a malformed entry: {key!r}")
+        counts[key] = value
+    return counts
+
+
+def apply_baseline(
+    findings: Iterable[Finding], baseline: Counter[str]
+) -> tuple[list[Finding], int]:
+    """Split *findings* into (new, suppressed-count) against *baseline*.
+
+    Each baseline entry absorbs up to its recorded multiplicity; findings
+    beyond that count are regressions and pass through.
+    """
+    budget = Counter(baseline)
+    fresh: list[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        key = finding_key(finding)
+        if budget[key] > 0:
+            budget[key] -= 1
+            suppressed += 1
+        else:
+            fresh.append(finding)
+    return fresh, suppressed

@@ -13,7 +13,7 @@ import ast
 from dataclasses import dataclass, field
 from typing import Iterator
 
-from repro.staticcheck.suppress import suppressed_rules
+from repro.staticcheck.suppress import expand_over_statements, suppressed_rules
 
 
 @dataclass
@@ -28,7 +28,10 @@ class FileContext:
     module_aliases: dict[str, str] = field(default_factory=dict)
     # bare name -> "module.attr" for `from module import attr [as name]`
     from_imports: dict[str, str] = field(default_factory=dict)
+    # Widened over multi-line simple statements: what the engine filters by.
     suppressions: dict[int, frozenset[str] | None] = field(default_factory=dict)
+    # One entry per physical marker comment: what NOQA001 validates.
+    noqa_lines: dict[int, frozenset[str] | None] = field(default_factory=dict)
 
     @classmethod
     def build(cls, path: str, source: str) -> "FileContext":
@@ -39,7 +42,8 @@ class FileContext:
             for child in ast.iter_child_nodes(node):
                 ctx.parents[child] = node
         ctx._collect_imports()
-        ctx.suppressions = suppressed_rules(source)
+        ctx.noqa_lines = suppressed_rules(source)
+        ctx.suppressions = expand_over_statements(ctx.noqa_lines, tree)
         return ctx
 
     def _collect_imports(self) -> None:

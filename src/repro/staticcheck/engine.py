@@ -26,6 +26,8 @@ from repro.staticcheck.suppress import is_suppressed
 PARSE_RULE = "PARSE001"
 #: Rule code attached to spec files that fail semantic analysis outright.
 SPEC_ERROR_RULE = "SPEC000"
+#: Rule code warning about unknown rule codes inside a noqa marker.
+NOQA_RULE = "NOQA001"
 
 
 def expand_paths(paths: Iterable[str]) -> tuple[Path, ...]:
@@ -74,11 +76,43 @@ def lint_python_source(
         if rule.applies_to(path)
         for finding in rule.visit(ctx)
     ]
+    findings.extend(_unknown_noqa_codes(ctx))
     return [
         finding
         for finding in findings
         if not is_suppressed(ctx.suppressions, finding.line, finding.rule)
     ]
+
+
+def _unknown_noqa_codes(ctx: FileContext) -> Iterator[Finding]:
+    """WARNING findings for noqa markers naming codes nothing can emit.
+
+    A typo'd waiver (``noqa[DET01]``) otherwise passes silently and the
+    finding it meant to suppress fails the build somewhere else — or
+    worse, the waiver outlives the rule it named.  Checked against the
+    full registry (not the ``--select`` subset) plus the engine's own
+    synthetic codes.
+    """
+    from repro.staticcheck.rules import REGISTRY
+
+    known = set(REGISTRY) | {PARSE_RULE, SPEC_ERROR_RULE, NOQA_RULE}
+    for line in sorted(ctx.noqa_lines):
+        codes = ctx.noqa_lines[line]
+        if codes is None:
+            continue  # the bare form names nothing to validate
+        for code in sorted(codes - known):
+            yield Finding(
+                path=ctx.path,
+                line=line,
+                column=1,
+                rule=NOQA_RULE,
+                message=(
+                    f"noqa marker names unknown rule code {code!r} — "
+                    "it suppresses nothing"
+                ),
+                suggestion="fix the code, or drop it from the marker",
+                severity=Severity.WARNING,
+            )
 
 
 def lint_spec_source(path: str, source: str) -> list[Finding]:

@@ -1,0 +1,53 @@
+"""Intraprocedural dataflow engine behind the flow-sensitive lint rules.
+
+Layering (each module depends only on the ones above it):
+
+* :mod:`~repro.staticcheck.flow.cfg` — per-function basic-block CFGs from
+  the AST, with statement sites, exception edges, and await helpers.
+* :mod:`~repro.staticcheck.flow.dominance` — iterative dominator sets and
+  statement-granularity dominance queries.
+* :mod:`~repro.staticcheck.flow.dataflow` — the worklist solver: reaching
+  definitions and the await-taint (torn-update) analysis.
+* :mod:`~repro.staticcheck.flow.callgraph` — name-based intra-module call
+  summaries so helpers inherit their callers' obligations.
+* :mod:`~repro.staticcheck.flow.rules` — NET001/ASY001/ASY002/LEDG001,
+  registered in the ordinary rule registry (DESIGN.md §14).
+"""
+
+from repro.staticcheck.flow.callgraph import CallSite, ModuleCallGraph
+from repro.staticcheck.flow.cfg import (
+    BasicBlock,
+    ControlFlowGraph,
+    FunctionNode,
+    Site,
+    build_cfg,
+    contains_await,
+    statement_awaits,
+    walk_body,
+)
+from repro.staticcheck.flow.dataflow import (
+    Definition,
+    TornUpdate,
+    find_torn_updates,
+    reaching_definitions,
+)
+from repro.staticcheck.flow.dominance import DominatorInfo, compute_dominators
+
+__all__ = [
+    "BasicBlock",
+    "CallSite",
+    "ControlFlowGraph",
+    "Definition",
+    "DominatorInfo",
+    "FunctionNode",
+    "ModuleCallGraph",
+    "Site",
+    "TornUpdate",
+    "build_cfg",
+    "compute_dominators",
+    "contains_await",
+    "find_torn_updates",
+    "reaching_definitions",
+    "statement_awaits",
+    "walk_body",
+]

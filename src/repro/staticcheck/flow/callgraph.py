@@ -1,0 +1,148 @@
+"""Intra-module call-graph summaries for obligation inheritance.
+
+The flow rules are intraprocedural at heart, but two of them need one hop
+of context: NET001 pushes an *undischarged send obligation* from a helper
+up to its call sites (the helper's send is fine if every caller logged
+first), and ASY001 pushes *async execution context* down from ``async
+def``\\ s into the sync helpers they call (a sync ``open()`` blocks the
+loop just as hard when it hides one frame below the coroutine).
+
+Resolution is deliberately name-based and module-local:
+
+* ``f(...)`` links to a function literally named ``f`` defined in this
+  module — unless ``f`` is a parameter or local of the calling function
+  (callbacks handed in as arguments are somebody else's code).
+* ``anything.m(...)`` links to a function/method named ``m`` defined in
+  this module.  No type inference — a same-named method on a foreign
+  object creates a spurious edge, which is conservative for ASY001
+  (extra context, never less) and is tolerated for NET001.
+* Cross-module calls resolve to nothing; obligations stop at the module
+  boundary by design (each module is analyzed against its own WAL
+  discipline).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.staticcheck.context import FileContext
+from repro.staticcheck.flow.cfg import FunctionNode, walk_body
+
+
+def _local_bindings(func: FunctionNode) -> frozenset[str]:
+    """Parameter and local-variable names of *func* (its own body only)."""
+    args = func.args
+    names = {
+        a.arg
+        for a in (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        )
+    }
+    for node in walk_body(func):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            names.add(node.id)
+    # Nested `def` names are deliberately NOT included: they are locals,
+    # but they are also module-collected functions and the def should win.
+    return frozenset(names)
+
+
+@dataclass
+class CallSite:
+    """One call expression, attributed to its immediately enclosing function."""
+
+    caller: FunctionNode | None  # None for module-level code
+    call: ast.Call
+
+
+@dataclass
+class ModuleCallGraph:
+    """Name-resolved call edges between the functions of one module."""
+
+    functions: list[FunctionNode] = field(default_factory=list)
+    by_name: dict[str, list[FunctionNode]] = field(default_factory=dict)
+    #: callee name -> every call site using that name.
+    call_sites: dict[str, list[CallSite]] = field(default_factory=dict)
+    #: caller function -> (callee name, call node) pairs, in source order.
+    calls_from: dict[FunctionNode, list[tuple[str, ast.Call]]] = field(
+        default_factory=dict
+    )
+
+    @classmethod
+    def build(cls, ctx: FileContext) -> "ModuleCallGraph":
+        graph = cls()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                graph.functions.append(node)
+                graph.by_name.setdefault(node.name, []).append(node)
+        graph.functions.sort(key=lambda f: (f.lineno, f.col_offset))
+        locals_of = {func: _local_bindings(func) for func in graph.functions}
+
+        for func in graph.functions:
+            graph.calls_from[func] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = cls._callee_name(node)
+            if name is None:
+                continue
+            caller = ctx.enclosing_function(node)
+            if (
+                isinstance(node.func, ast.Name)
+                and caller is not None
+                and name in locals_of.get(caller, frozenset())
+            ):
+                # A param or local shadows any same-named module def: the
+                # callable was handed in (a callback), not resolved here.
+                continue
+            site = CallSite(caller=caller, call=node)
+            graph.call_sites.setdefault(name, []).append(site)
+            if caller is not None:
+                graph.calls_from[caller].append((name, node))
+        return graph
+
+    @staticmethod
+    def _callee_name(call: ast.Call) -> str | None:
+        func = call.func
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        return None
+
+    # ------------------------------------------------------------- queries
+
+    def sites_calling(self, name: str) -> list[CallSite]:
+        """Call sites that resolve (by name) to a module-defined function."""
+        if name not in self.by_name:
+            return []
+        return list(self.call_sites.get(name, []))
+
+    def async_reachable(self) -> dict[FunctionNode, tuple[str, ...]]:
+        """Sync functions transitively called from ``async def`` bodies.
+
+        Maps each reached sync function to one example call chain (names
+        from the originating coroutine down to it).  Async functions are
+        not in the map — they are their own context.
+        """
+        reached: dict[FunctionNode, tuple[str, ...]] = {}
+        frontier: list[tuple[FunctionNode, tuple[str, ...]]] = [
+            (func, (func.name,))
+            for func in self.functions
+            if isinstance(func, ast.AsyncFunctionDef)
+        ]
+        while frontier:
+            current, chain = frontier.pop(0)
+            for name, _call in self.calls_from.get(current, []):
+                for target in self.by_name.get(name, []):
+                    if isinstance(target, ast.AsyncFunctionDef):
+                        continue  # awaited coroutines schedule, not block
+                    if target in reached:
+                        continue
+                    reached[target] = chain + (name,)
+                    frontier.append((target, chain + (name,)))
+        return reached

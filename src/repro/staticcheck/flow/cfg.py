@@ -1,0 +1,383 @@
+"""Per-function control-flow graphs built from the AST.
+
+Each function (sync or async, nested ones analyzed separately) compiles to
+a graph of :class:`BasicBlock`\\ s: straight-line statement runs connected by
+branch, loop, exception, and fall-through edges.  The builder is
+deliberately conservative — where the dynamic semantics are subtle
+(``finally`` on the unwind path, ``while True`` loops, exceptions raised
+mid-block) it adds *extra* edges rather than fewer, so dominance queries
+under-approximate ("X dominates Y" is only claimed when it holds on every
+modelled path) and reachability queries over-approximate.
+
+Statement granularity: every statement the function can execute occupies a
+*site* ``(block index, position in block)``.  Compound statements (``if``,
+``while``, ``for``, ``with``, ``match``) are placed at the point their
+header expression evaluates; their bodies become separate blocks.  ``try``
+bodies get an exception edge from every block in the region to every
+handler entry, because an exception can split a block at any point.
+Nested function and class definitions are single statements here — their
+bodies execute on *call*, not in this frame, and are analyzed as their own
+functions.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Union, cast
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: (block index, statement position within block) — a statement's address.
+Site = tuple[int, int]
+
+_SCOPE_BARRIERS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+
+# ast.TryStar is 3.11+; resolved via getattr so type checking under older
+# python_version settings stays clean.  TryStar shares Try's field layout,
+# so _try handles both.
+_TRY_STAR = getattr(ast, "TryStar", None)
+_TRY_STATEMENTS: tuple[type[ast.stmt], ...] = (
+    (ast.Try, _TRY_STAR) if _TRY_STAR is not None else (ast.Try,)
+)
+
+
+@dataclass
+class BasicBlock:
+    """One straight-line run of statements."""
+
+    index: int
+    statements: list[ast.stmt] = field(default_factory=list)
+    successors: set[int] = field(default_factory=set)
+    predecessors: set[int] = field(default_factory=set)
+
+
+@dataclass
+class ControlFlowGraph:
+    """The CFG of one function, with statement-site and handler metadata."""
+
+    func: FunctionNode
+    blocks: list[BasicBlock]
+    entry: int
+    exit: int
+    #: statement node -> its site; every executed statement is mapped.
+    sites: dict[ast.stmt, Site]
+    #: handler entry block -> the ExceptHandler whose body starts there.
+    handler_entries: dict[int, ast.ExceptHandler]
+    #: (source block, handler entry block) pairs — the exception edges.
+    exception_edges: set[tuple[int, int]]
+
+    def site_of(self, node: ast.AST, parents: dict[ast.AST, ast.AST]) -> Site | None:
+        """The site of the innermost mapped statement containing *node*.
+
+        Walks *parents* upward; returns None if *node* is outside this
+        function (or in dead code the builder never placed).
+        """
+        current: ast.AST | None = node
+        while current is not None:
+            if isinstance(current, ast.stmt):
+                site = self.sites.get(current)
+                if site is not None:
+                    return site
+            if current is self.func:
+                return None
+            current = parents.get(current)
+        return None
+
+    def reachable_from(self, block: int) -> frozenset[int]:
+        """Blocks reachable from *block* (inclusive) along successor edges."""
+        return _closure(block, lambda b: self.blocks[b].successors)
+
+    def reaching_to(self, block: int) -> frozenset[int]:
+        """Blocks from which *block* is reachable (inclusive)."""
+        return _closure(block, lambda b: self.blocks[b].predecessors)
+
+
+def _closure(start: int, step: Callable[[int], set[int]]) -> frozenset[int]:
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        for nxt in step(frontier.pop()):
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return frozenset(seen)
+
+
+def walk_body(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk *node* without descending into nested function/class scopes.
+
+    The root itself is yielded (unless it is a scope barrier other than the
+    starting node); children of nested ``def``/``lambda``/``class`` are not
+    — their code runs in another frame, on call, and is analyzed there.
+    """
+    stack: list[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        if current is not node and isinstance(current, _SCOPE_BARRIERS):
+            continue
+        stack.extend(reversed(list(ast.iter_child_nodes(current))))
+
+
+def contains_await(node: ast.AST) -> bool:
+    """Whether *node* suspends this coroutine frame (awaits in nested defs
+    don't count — they suspend the nested frame, when it eventually runs)."""
+    if isinstance(node, _SCOPE_BARRIERS):
+        return False  # a def statement only *creates* the inner frame
+    return any(isinstance(child, ast.Await) for child in walk_body(node))
+
+
+def head_expressions(stmt: ast.stmt) -> list[ast.expr]:
+    """The expressions a compound statement evaluates *at its own site*.
+
+    Bodies are separate blocks; only the header runs here.  Returns ``[]``
+    for simple statements (callers examine those whole).
+    """
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.Match):
+        return [stmt.subject]
+    return []
+
+
+def statement_awaits(stmt: ast.stmt) -> bool:
+    """Whether executing *stmt's own site* can suspend the coroutine."""
+    if isinstance(stmt, (ast.AsyncFor, ast.AsyncWith)):
+        return True  # implicit __anext__/__aenter__ awaits
+    heads = head_expressions(stmt)
+    if heads:
+        return any(contains_await(expr) for expr in heads)
+    return contains_await(stmt)
+
+
+class _Builder:
+    def __init__(self, func: FunctionNode) -> None:
+        self.func = func
+        self.blocks: list[BasicBlock] = []
+        self.sites: dict[ast.stmt, Site] = {}
+        self.handler_entries: dict[int, ast.ExceptHandler] = {}
+        self.exception_edges: set[tuple[int, int]] = set()
+        self.exit = self._new_block()
+        self.entry = self._new_block()
+        self.current: int | None = self.entry
+        # (loop head, loop after) for continue/break targets, innermost last.
+        self.loops: list[tuple[int, int]] = []
+
+    # ------------------------------------------------------------- plumbing
+
+    def _new_block(self) -> int:
+        block = BasicBlock(index=len(self.blocks))
+        self.blocks.append(block)
+        return block.index
+
+    def _edge(self, src: int, dst: int) -> None:
+        self.blocks[src].successors.add(dst)
+        self.blocks[dst].predecessors.add(src)
+
+    def _exception_edge(self, src: int, handler_entry: int) -> None:
+        self._edge(src, handler_entry)
+        self.exception_edges.add((src, handler_entry))
+
+    def _place(self, stmt: ast.stmt) -> int:
+        """Append *stmt* to the current block (a fresh one for dead code)."""
+        if self.current is None:
+            self.current = self._new_block()  # unreachable continuation
+        block = self.blocks[self.current]
+        self.sites[stmt] = (self.current, len(block.statements))
+        block.statements.append(stmt)
+        return self.current
+
+    # ----------------------------------------------------------- statements
+
+    def build(self) -> ControlFlowGraph:
+        self._body(self.func.body)
+        if self.current is not None:
+            self._edge(self.current, self.exit)  # implicit return
+        return ControlFlowGraph(
+            func=self.func,
+            blocks=self.blocks,
+            entry=self.entry,
+            exit=self.exit,
+            sites=self.sites,
+            handler_entries=self.handler_entries,
+            exception_edges=self.exception_edges,
+        )
+
+    def _body(self, stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            self._stmt(stmt)
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.If):
+            self._if(stmt)
+        elif isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            self._loop(stmt)
+        elif isinstance(stmt, _TRY_STATEMENTS):
+            self._try(cast(ast.Try, stmt))
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._place(stmt)
+            self._body(stmt.body)
+        elif isinstance(stmt, ast.Match):
+            self._match(stmt)
+        elif isinstance(stmt, ast.Return):
+            block = self._place(stmt)
+            self._edge(block, self.exit)
+            self.current = None
+        elif isinstance(stmt, ast.Raise):
+            block = self._place(stmt)
+            # Region exception edges (added by _try for every block in a try
+            # body) model the caught path; the uncaught path leaves the frame.
+            self._edge(block, self.exit)
+            self.current = None
+        elif isinstance(stmt, ast.Break):
+            block = self._place(stmt)
+            if self.loops:
+                self._edge(block, self.loops[-1][1])
+            self.current = None
+        elif isinstance(stmt, ast.Continue):
+            block = self._place(stmt)
+            if self.loops:
+                self._edge(block, self.loops[-1][0])
+            self.current = None
+        else:
+            self._place(stmt)
+
+    def _if(self, stmt: ast.If) -> None:
+        head = self._place(stmt)
+        join = self._new_block()
+        self.current = self._new_block()
+        self._edge(head, self.current)
+        self._body(stmt.body)
+        if self.current is not None:
+            self._edge(self.current, join)
+        if stmt.orelse:
+            self.current = self._new_block()
+            self._edge(head, self.current)
+            self._body(stmt.orelse)
+            if self.current is not None:
+                self._edge(self.current, join)
+        else:
+            self._edge(head, join)
+        self.current = join
+
+    def _loop(self, stmt: ast.While | ast.For | ast.AsyncFor) -> None:
+        pre = self.current
+        head = self._new_block()
+        if pre is not None:
+            self._edge(pre, head)
+        self.current = head
+        self._place(stmt)  # the test / iterator evaluates once per pass
+        after = self._new_block()
+        body = self._new_block()
+        self._edge(head, body)
+        self.loops.append((head, after))
+        self.current = body
+        self._body(stmt.body)
+        self.loops.pop()
+        if self.current is not None:
+            self._edge(self.current, head)
+        if stmt.orelse:
+            orelse = self._new_block()
+            self._edge(head, orelse)
+            self.current = orelse
+            self._body(stmt.orelse)
+            if self.current is not None:
+                self._edge(self.current, after)
+        else:
+            # Conservative: the exit edge exists even for `while True` — an
+            # extra path never manufactures a dominance claim.
+            self._edge(head, after)
+        self.current = after
+
+    def _try(self, stmt: ast.Try) -> None:
+        pre = self.current
+        region_start = len(self.blocks)
+        body_entry = self._new_block()
+        if pre is not None:
+            self._edge(pre, body_entry)
+        self.current = body_entry
+        self._body(stmt.body)
+        body_end = self.current
+        region = range(region_start, len(self.blocks))
+
+        # else runs only after an exception-free body; its own exceptions
+        # are NOT caught by this try's handlers, so it sits outside region.
+        if stmt.orelse:
+            orelse_entry = self._new_block()
+            if body_end is not None:
+                self._edge(body_end, orelse_entry)
+            self.current = orelse_entry
+            self._body(stmt.orelse)
+            normal_end = self.current
+        else:
+            normal_end = body_end
+
+        handler_region_start = len(self.blocks)
+        handler_ends: list[int | None] = []
+        entries: list[int] = []
+        for handler in stmt.handlers:
+            entry = self._new_block()
+            entries.append(entry)
+            self.handler_entries[entry] = handler
+            self.current = entry
+            self._body(handler.body)
+            handler_ends.append(self.current)
+        handler_region = range(handler_region_start, len(self.blocks))
+
+        # An exception can split any block in the protected region at any
+        # statement, so every region block gets an edge to every handler.
+        for src in region:
+            for entry in entries:
+                self._exception_edge(src, entry)
+
+        if stmt.finalbody:
+            final_entry = self._new_block()
+            if normal_end is not None:
+                self._edge(normal_end, final_entry)
+            for end in handler_ends:
+                if end is not None:
+                    self._edge(end, final_entry)
+            # Unwind path: uncaught exceptions from the body or the handlers
+            # still execute finally, then leave the frame.
+            for src in region:
+                self._exception_edge(src, final_entry)
+            for src in handler_region:
+                self._exception_edge(src, final_entry)
+            self.current = final_entry
+            self._body(stmt.finalbody)
+            final_end = self.current
+            after = self._new_block()
+            if final_end is not None:
+                self._edge(final_end, after)
+                self._edge(final_end, self.exit)  # unwind continues
+            self.current = after
+        else:
+            after = self._new_block()
+            if normal_end is not None:
+                self._edge(normal_end, after)
+            for end in handler_ends:
+                if end is not None:
+                    self._edge(end, after)
+            self.current = after
+
+    def _match(self, stmt: ast.Match) -> None:
+        head = self._place(stmt)
+        join = self._new_block()
+        for case in stmt.cases:
+            self.current = self._new_block()
+            self._edge(head, self.current)
+            self._body(case.body)
+            if self.current is not None:
+                self._edge(self.current, join)
+        self._edge(head, join)  # no case matched
+        self.current = join
+
+
+def build_cfg(func: FunctionNode) -> ControlFlowGraph:
+    """Compile one function's body into a :class:`ControlFlowGraph`."""
+    return _Builder(func).build()

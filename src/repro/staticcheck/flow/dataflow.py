@@ -1,0 +1,347 @@
+"""Forward dataflow analyses over the flow CFG.
+
+Two analyses live here:
+
+* **Reaching definitions** — the textbook gen/kill analysis over local
+  name assignments, exposed for engine consumers and exercised by the
+  flow test suite.
+* **Torn-update (await-interleaving) analysis** — the engine behind
+  ASY002.  It tracks *stale-read taints*: a local that holds the value of
+  ``self.attr`` carries the taint ``(attr, crossed)``, where ``crossed``
+  flips to True the moment the coroutine suspends at an ``await``.  A
+  store to ``self.attr`` fed by a crossed taint is a lost-update race:
+  another task may have advanced the attribute while this frame slept,
+  and the write clobbers that update with a value derived from the stale
+  read.
+
+Both run the same worklist-to-fixpoint loop: block in-states join by
+union, transfer folds the block's statements in order, iteration stops
+when nothing changes.  The taint lattice is finite (attrs × {False,True}
+× read lines) and all transfers are monotone, so termination is
+structural, not a fuel counter.
+
+Approximations (deliberate, documented):
+
+* Evaluation order *within* one statement is modelled coarsely: any
+  ``await`` in a statement marks every value read by that statement as
+  crossed, even reads that textually follow the await.
+* Method calls do not kill taints — ``self.recompute()`` between the read
+  and the write does not launder the staleness (the stale local is still
+  what gets written).
+* Only first-level attributes of the literal name ``self`` are tracked.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.staticcheck.flow.cfg import (
+    ControlFlowGraph,
+    contains_await,
+    head_expressions,
+    statement_awaits,
+    walk_body,
+)
+
+# ------------------------------------------------------------ reaching defs
+
+
+@dataclass(frozen=True)
+class Definition:
+    """One assignment to a local name, addressed by its site."""
+
+    name: str
+    block: int
+    index: int
+    line: int
+
+
+def _assigned_names(stmt: ast.stmt) -> list[str]:
+    names: list[str] = []
+    targets: list[ast.expr] = []
+    if isinstance(stmt, ast.Assign):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        targets = [stmt.target]
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        targets = [stmt.target]
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        targets = [item.optional_vars for item in stmt.items if item.optional_vars]
+    for target in targets:
+        for node in ast.walk(target):
+            if isinstance(node, ast.Name):
+                names.append(node.id)
+    return names
+
+
+def reaching_definitions(
+    cfg: ControlFlowGraph,
+) -> dict[int, frozenset[Definition]]:
+    """Definitions reaching each block's *entry* (classic may-analysis)."""
+    gen: dict[int, dict[str, Definition]] = {}
+    kills: dict[int, frozenset[str]] = {}
+    for block in cfg.blocks:
+        last: dict[str, Definition] = {}
+        killed: set[str] = set()
+        for index, stmt in enumerate(block.statements):
+            for name in _assigned_names(stmt):
+                last[name] = Definition(name, block.index, index, stmt.lineno)
+                killed.add(name)
+        gen[block.index] = last
+        kills[block.index] = frozenset(killed)
+
+    in_states: dict[int, frozenset[Definition]] = {
+        block.index: frozenset() for block in cfg.blocks
+    }
+    worklist = [block.index for block in cfg.blocks]
+    while worklist:
+        current = worklist.pop(0)
+        incoming = in_states[current]
+        survived = frozenset(
+            d for d in incoming if d.name not in kills[current]
+        ) | frozenset(gen[current].values())
+        for succ in sorted(cfg.blocks[current].successors):
+            merged = in_states[succ] | survived
+            if merged != in_states[succ]:
+                in_states[succ] = merged
+                if succ not in worklist:
+                    worklist.append(succ)
+    return in_states
+
+
+# ------------------------------------------------------- torn-update (ASY002)
+
+#: (attribute name, crossed an await, line of the stale read)
+Taint = tuple[str, bool, int]
+TaintState = dict[str, frozenset[Taint]]
+
+
+@dataclass(frozen=True)
+class TornUpdate:
+    """One detected lost-update race: the store, its attr, the stale read."""
+
+    store: ast.stmt
+    attr: str
+    read_line: int
+
+
+def _is_self_attr(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
+def _self_attr_reads(expr: ast.expr) -> list[tuple[str, int]]:
+    reads: list[tuple[str, int]] = []
+    for node in walk_body(expr):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.ctx, ast.Load)
+            and _is_self_attr(node)
+        ):
+            reads.append((node.attr, node.lineno))
+    return reads
+
+
+def _names_read(expr: ast.expr) -> list[str]:
+    return [
+        node.id
+        for node in walk_body(expr)
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)
+    ]
+
+
+def _cross_all(state: TaintState) -> TaintState:
+    return {
+        name: frozenset((attr, True, line) for attr, _, line in taints)
+        for name, taints in state.items()
+    }
+
+
+def _kill_attr(state: TaintState, attr: str) -> TaintState:
+    out: TaintState = {}
+    for name, taints in state.items():
+        kept = frozenset(t for t in taints if t[0] != attr)
+        if kept:
+            out[name] = kept
+    return out
+
+
+def _value_taint(expr: ast.expr, state: TaintState, crossed: bool) -> frozenset[Taint]:
+    """The taints a value computed from *expr* carries.
+
+    Direct ``self.attr`` reads seed fresh taints; names propagate the
+    taints of the locals they read.  *crossed* is True when the statement
+    itself awaits — everything it read is stale by the time it lands.
+    """
+    taints: set[Taint] = {
+        (attr, crossed, line) for attr, line in _self_attr_reads(expr)
+    }
+    for name in _names_read(expr):
+        for attr, was_crossed, line in state.get(name, frozenset()):
+            taints.add((attr, was_crossed or crossed, line))
+    return frozenset(taints)
+
+
+class _TornUpdateAnalysis:
+    def __init__(self, cfg: ControlFlowGraph) -> None:
+        self.cfg = cfg
+        self.flags: dict[int, TornUpdate] = {}  # keyed by id(store stmt)
+
+    # ------------------------------------------------------------- transfer
+
+    def _flag(self, store: ast.stmt, attr: str, read_line: int) -> None:
+        self.flags.setdefault(id(store), TornUpdate(store, attr, read_line))
+
+    def _check_store(
+        self, store: ast.stmt, attr: str, value: ast.expr, state: TaintState
+    ) -> None:
+        """*state* is post-crossing: taints already reflect any await in
+        this statement (the store lands after the suspension either way)."""
+        for name in _names_read(value):
+            for taint_attr, crossed, line in state.get(name, frozenset()):
+                if taint_attr == attr and crossed:
+                    self._flag(store, attr, line)
+                    return
+        if contains_await(value):
+            for read_attr, line in _self_attr_reads(value):
+                if read_attr == attr:
+                    self._flag(store, attr, line)
+                    return
+
+    def _bind(
+        self,
+        target: ast.expr,
+        taint: frozenset[Taint],
+        value: ast.expr,
+        state: TaintState,
+        stmt: ast.stmt,
+    ) -> TaintState:
+        if isinstance(target, ast.Name):
+            state = dict(state)
+            if taint:
+                state[target.id] = taint
+            else:
+                state.pop(target.id, None)
+            return state
+        if _is_self_attr(target):
+            assert isinstance(target, ast.Attribute)
+            self._check_store(stmt, target.attr, value, state)
+            return _kill_attr(state, target.attr)
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                state = self._bind(element, taint, value, state, stmt)
+            return state
+        return state  # subscripts and other targets: out of scope
+
+    def transfer(
+        self, stmt: ast.stmt, state: TaintState, record: bool
+    ) -> TaintState:
+        if record:
+            return self._transfer(stmt, state)
+        saved = dict(self.flags)
+        try:
+            return self._transfer(stmt, state)
+        finally:
+            self.flags = saved
+
+    def _transfer(self, stmt: ast.stmt, state: TaintState) -> TaintState:
+        if isinstance(stmt, ast.Assign):
+            value = stmt.value
+            crossed = contains_await(value)
+            if crossed:
+                state = _cross_all(state)
+            taint = _value_taint(value, state, crossed)
+            for target in stmt.targets:
+                state = self._bind(target, taint, value, state, stmt)
+            return state
+        if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            value = stmt.value
+            crossed = contains_await(value)
+            if crossed:
+                state = _cross_all(state)
+            taint = _value_taint(value, state, crossed)
+            return self._bind(stmt.target, taint, value, state, stmt)
+        if isinstance(stmt, ast.AugAssign):
+            value = stmt.value
+            crossed = contains_await(value)
+            if crossed:
+                state = _cross_all(state)
+            if isinstance(stmt.target, ast.Name):
+                name = stmt.target.id
+                extra = _value_taint(value, state, crossed)
+                merged = state.get(name, frozenset()) | extra
+                state = dict(state)
+                if merged:
+                    state[name] = merged
+                return state
+            if _is_self_attr(stmt.target):
+                assert isinstance(stmt.target, ast.Attribute)
+                attr = stmt.target.attr
+                if crossed:
+                    # x += await f(): the old value loads before the await
+                    # and applies after it — torn within one statement.
+                    self._flag(stmt, attr, stmt.lineno)
+                else:
+                    self._check_store(stmt, attr, value, state)
+                return _kill_attr(state, attr)
+            return state
+        if statement_awaits(stmt):
+            return _cross_all(state)
+        return state
+
+    # -------------------------------------------------------------- solving
+
+    def solve(self) -> list[TornUpdate]:
+        in_states: dict[int, TaintState] = {self.cfg.entry: {}}
+        worklist = [self.cfg.entry]
+        while worklist:
+            current = worklist.pop(0)
+            state = dict(in_states.get(current, {}))
+            for stmt in self.cfg.blocks[current].statements:
+                state = self.transfer(stmt, state, record=False)
+            for succ in sorted(self.cfg.blocks[current].successors):
+                merged = _join(in_states.get(succ), state)
+                if merged != in_states.get(succ):
+                    in_states[succ] = merged
+                    if succ not in worklist:
+                        worklist.append(succ)
+        # Final recording pass from the fixpoint in-states.
+        self.flags = {}
+        for block in self.cfg.blocks:
+            state = dict(in_states.get(block.index, {}))
+            for stmt in block.statements:
+                state = self.transfer(stmt, state, record=True)
+        return sorted(
+            self.flags.values(), key=lambda t: (t.store.lineno, t.attr)
+        )
+
+
+def _join(left: TaintState | None, right: TaintState) -> TaintState:
+    if left is None:
+        return dict(right)
+    merged = dict(left)
+    for name, taints in right.items():
+        merged[name] = merged.get(name, frozenset()) | taints
+    return merged
+
+
+def find_torn_updates(cfg: ControlFlowGraph) -> list[TornUpdate]:
+    """ASY002 engine: stores of ``self.*`` fed by a read from before an
+    ``await`` in the same coroutine frame."""
+    return _TornUpdateAnalysis(cfg).solve()
+
+
+__all__ = [
+    "Definition",
+    "Taint",
+    "TaintState",
+    "TornUpdate",
+    "contains_await",
+    "find_torn_updates",
+    "head_expressions",
+    "reaching_definitions",
+]

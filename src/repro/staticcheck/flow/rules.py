@@ -1,0 +1,426 @@
+"""Flow-sensitive protocol rules (see DESIGN.md §14 for the catalogue).
+
+* **NET001** — log-then-act: in ``repro/net`` modules that keep a WAL, any
+  frame whose payload literal says ``"type": "act"`` or ``"abandon"`` must
+  be *dominated* by a ``wal.append``/``wal.flush`` call — on every path
+  from function entry to the send, the record hits the log first.  Helpers
+  inherit the obligation upward: a helper whose send is not self-covered
+  is fine if every call site is dominated by an append; the finding lands
+  where the discipline terminally breaks.
+* **ASY001** — blocking call on the event loop: ``time.sleep``, ``open``,
+  ``subprocess.run``-family, ``os.system`` … inside an ``async def``, or
+  inside a sync helper reachable from one through this module's call
+  graph.
+* **ASY002** — cooperative race: a read-modify-write of ``self.*`` state
+  torn across an ``await`` (the stale read is written back after the
+  suspension — a lost update under task interleaving).
+* **LEDG001** — custody skew: a ``.debit(...)`` whose paired
+  ``.credit(...)`` can be skipped by an exception handler that neither
+  credits, re-raises, nor rejoins the credit path.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.staticcheck.context import FileContext
+from repro.staticcheck.flow.callgraph import ModuleCallGraph
+from repro.staticcheck.flow.cfg import (
+    ControlFlowGraph,
+    FunctionNode,
+    Site,
+    build_cfg,
+    walk_body,
+)
+from repro.staticcheck.flow.dataflow import find_torn_updates
+from repro.staticcheck.flow.dominance import DominatorInfo
+from repro.staticcheck.model import Finding
+from repro.staticcheck.rules import Rule, register
+
+
+def _module_functions(tree: ast.Module) -> list[FunctionNode]:
+    functions = [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    functions.sort(key=lambda f: (f.lineno, f.col_offset))
+    return functions
+
+
+def _body_calls(func: FunctionNode) -> list[ast.Call]:
+    """Call expressions executed in *func*'s own frame, in source order."""
+    calls = [node for node in walk_body(func) if isinstance(node, ast.Call)]
+    calls.sort(key=lambda c: (c.lineno, c.col_offset))
+    return calls
+
+
+# --------------------------------------------------------------------- NET001
+
+
+def _names_wal(identifier: str) -> bool:
+    """Whether an identifier names a WAL: a ``wal`` token, not a substring
+    (``epoch_wall`` is a wall clock, not a log)."""
+    return "wal" in identifier.lower().split("_")
+
+
+def _module_keeps_wal(tree: ast.Module) -> bool:
+    """Whether this module handles a write-ahead log at all.
+
+    Pure transports (the fault proxy) have no log to write — the discipline
+    is meaningless there, so the rule gates on a WAL being in scope:
+    an attribute named like ``wal`` or an import of a ``wal`` module.
+    """
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute) and _names_wal(node.attr):
+            return True
+        if isinstance(node, ast.Import):
+            if any(_names_wal(alias.name.split(".")[-1]) for alias in node.names):
+                return True
+        if isinstance(node, ast.ImportFrom):
+            if any(_names_wal(alias.name) for alias in node.names):
+                return True
+    return False
+
+
+def _effect_kind(call: ast.Call) -> str | None:
+    """``"act"``/``"abandon"`` when *call* ships such a frame literal."""
+    for arg in list(call.args) + [kw.value for kw in call.keywords]:
+        if not isinstance(arg, ast.Dict):
+            continue
+        for key, value in zip(arg.keys, arg.values):
+            if (
+                isinstance(key, ast.Constant)
+                and key.value == "type"
+                and isinstance(value, ast.Constant)
+                and value.value in ("act", "abandon")
+            ):
+                return str(value.value)
+    return None
+
+
+def _is_wal_append(call: ast.Call) -> bool:
+    func = call.func
+    if not isinstance(func, ast.Attribute) or func.attr not in ("append", "flush"):
+        return False
+    receiver = func.value
+    while isinstance(receiver, ast.Attribute):
+        if _names_wal(receiver.attr):
+            return True
+        receiver = receiver.value
+    return isinstance(receiver, ast.Name) and _names_wal(receiver.id)
+
+
+@dataclass
+class _NetFuncInfo:
+    func: FunctionNode
+    doms: DominatorInfo
+    append_sites: list[Site] = field(default_factory=list)
+    #: effect calls in this frame NOT dominated by any append, with kind.
+    undominated: list[tuple[ast.Call, str]] = field(default_factory=list)
+
+    def covers(self, node: ast.AST, parents: dict[ast.AST, ast.AST]) -> bool:
+        return self.doms.node_dominated_by_any(node, self.append_sites, parents)
+
+
+@register
+class LogThenAct(Rule):
+    """NET001: every act/abandon frame is preceded by its WAL record."""
+
+    code = "NET001"
+    title = "socket effect not dominated by a WAL append"
+    suggestion = (
+        "append the covering WAL record before the frame reaches the wire "
+        "(log-then-act, DESIGN.md §13); if the record provably predates "
+        "this process (e.g. crash-replay re-offers), waive with "
+        "# repro: noqa[NET001] and say why"
+    )
+    restrict_to = ("net",)
+
+    def visit(self, ctx: FileContext) -> Iterator[Finding]:
+        if not _module_keeps_wal(ctx.tree):
+            return
+        graph = ModuleCallGraph.build(ctx)
+        infos: dict[FunctionNode, _NetFuncInfo] = {}
+        for func in graph.functions:
+            cfg = build_cfg(func)
+            doms = DominatorInfo.build(cfg)
+            info = _NetFuncInfo(func=func, doms=doms)
+            for call in _body_calls(func):
+                if _is_wal_append(call):
+                    site = cfg.site_of(call, ctx.parents)
+                    if site is not None:
+                        info.append_sites.append(site)
+            for call in _body_calls(func):
+                kind = _effect_kind(call)
+                if kind is not None and not info.covers(call, ctx.parents):
+                    info.undominated.append((call, kind))
+            infos[func] = info
+
+        # Obligation worklist: (function, anchor node, kind, chain of names).
+        reported: set[int] = set()
+        worklist: list[tuple[FunctionNode, ast.Call, str, tuple[str, ...]]] = [
+            (func, call, kind, ())
+            for func, info in infos.items()
+            for call, kind in info.undominated
+        ]
+        seen: set[tuple[int, str]] = set()
+        while worklist:
+            func, anchor, kind, chain = worklist.pop(0)
+            callers = [
+                site
+                for site in graph.sites_calling(func.name)
+                if site.caller is not None and site.caller in infos
+            ]
+            if not callers or func.name in chain:
+                if id(anchor) not in reported:
+                    reported.add(id(anchor))
+                    yield self._finding(ctx, anchor, kind, chain)
+                continue
+            for site in callers:
+                caller = site.caller
+                assert caller is not None
+                if infos[caller].covers(site.call, ctx.parents):
+                    continue  # discharged: the caller logged first
+                key = (id(site.call), kind)
+                if key in seen:
+                    continue
+                seen.add(key)
+                worklist.append(
+                    (caller, site.call, kind, (func.name,) + chain)
+                )
+
+    def _finding(
+        self, ctx: FileContext, node: ast.Call, kind: str, chain: tuple[str, ...]
+    ) -> Finding:
+        if chain:
+            route = " -> ".join(chain)
+            message = (
+                f"call can emit an {kind!r} frame (via {route}) on a path "
+                "with no preceding WAL append — log-then-act violated"
+            )
+        else:
+            message = (
+                f"{kind!r} frame reaches the socket on a path with no "
+                "preceding WAL append — log-then-act violated"
+            )
+        return self.finding(ctx, node, message)
+
+
+# --------------------------------------------------------------------- ASY001
+
+_BLOCKING_CALLS: frozenset[tuple[str, ...]] = frozenset(
+    {
+        ("time", "sleep"),
+        ("os", "system"),
+        ("os", "popen"),
+        ("socket", "create_connection"),
+        ("urllib", "request", "urlopen"),
+        ("open",),
+        ("input",),
+    }
+)
+
+_BLOCKING_SUBPROCESS = frozenset(
+    {"run", "call", "check_call", "check_output", "getoutput", "getstatusoutput"}
+)
+
+
+def _blocking_name(dotted: tuple[str, ...]) -> str | None:
+    if dotted in _BLOCKING_CALLS:
+        return ".".join(dotted)
+    if len(dotted) == 2 and dotted[0] == "subprocess" and (
+        dotted[1] in _BLOCKING_SUBPROCESS
+    ):
+        return ".".join(dotted)
+    return None
+
+
+@register
+class BlockingCallInAsync(Rule):
+    """ASY001: synchronous I/O and sleeps on the event loop."""
+
+    code = "ASY001"
+    title = "blocking call on the event loop"
+    suggestion = (
+        "use the awaitable equivalent (asyncio.sleep, asyncio.to_thread, "
+        "loop.run_in_executor) or move the work off the async path; "
+        "waive a deliberate micro-block with # repro: noqa[ASY001]"
+    )
+
+    def visit(self, ctx: FileContext) -> Iterator[Finding]:
+        graph = ModuleCallGraph.build(ctx)
+        if not any(
+            isinstance(func, ast.AsyncFunctionDef) for func in graph.functions
+        ):
+            return
+        inherited = graph.async_reachable()
+        for func in graph.functions:
+            chain: tuple[str, ...] | None
+            if isinstance(func, ast.AsyncFunctionDef):
+                chain = ()
+            else:
+                chain = inherited.get(func)
+                if chain is None:
+                    continue
+            for call in _body_calls(func):
+                dotted = ctx.resolve_call(call)
+                if dotted is None:
+                    continue
+                blocking = _blocking_name(dotted)
+                if blocking is None:
+                    continue
+                if chain:
+                    route = " -> ".join(chain)
+                    message = (
+                        f"blocking {blocking}() in sync helper "
+                        f"{func.name!r}, reached from the event loop via "
+                        f"{route}"
+                    )
+                else:
+                    message = (
+                        f"blocking {blocking}() inside async def "
+                        f"{func.name!r} stalls every task on the loop"
+                    )
+                yield self.finding(ctx, call, message)
+
+
+# --------------------------------------------------------------------- ASY002
+
+
+@register
+class AwaitTornUpdate(Rule):
+    """ASY002: read-modify-write of instance state split across an await."""
+
+    code = "ASY002"
+    title = "read-modify-write of instance state torn across an await"
+    suggestion = (
+        "re-read the attribute after the await (or serialize the section "
+        "with an asyncio.Lock): between the stale read and this write, "
+        "another task may have advanced the state, and the write loses "
+        "that update"
+    )
+
+    def visit(self, ctx: FileContext) -> Iterator[Finding]:
+        for func in _module_functions(ctx.tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            cfg = build_cfg(func)
+            for torn in find_torn_updates(cfg):
+                yield self.finding(
+                    ctx,
+                    torn.store,
+                    f"self.{torn.attr} is read at line {torn.read_line}, an "
+                    "await intervenes, and the stale value is written back "
+                    "— a concurrent task's update to it would be lost",
+                )
+
+
+# -------------------------------------------------------------------- LEDG001
+
+
+def _ledger_calls(func: FunctionNode, attr: str) -> list[ast.Call]:
+    calls = [
+        node
+        for node in walk_body(func)
+        if isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == attr
+    ]
+    calls.sort(key=lambda c: (c.lineno, c.col_offset))
+    return calls
+
+
+def _handler_has(handler: ast.ExceptHandler, predicate: "type[ast.AST]") -> bool:
+    stack: list[ast.AST] = list(handler.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, predicate):
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def _handler_credits(handler: ast.ExceptHandler) -> bool:
+    stack: list[ast.AST] = list(handler.body)
+    while stack:
+        node = stack.pop()
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "credit"
+        ):
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+@register
+class LedgerExceptionSkew(Rule):
+    """LEDG001: an exception path that keeps the debit but skips the credit."""
+
+    code = "LEDG001"
+    title = "exception path can skip one side of a debit/credit pair"
+    suggestion = (
+        "credit the counter-account in the handler, re-raise, or move the "
+        "debit inside the guarded region so both sides share a fate — "
+        "custody must be conserved on every path"
+    )
+
+    def visit(self, ctx: FileContext) -> Iterator[Finding]:
+        for func in _module_functions(ctx.tree):
+            debits = _ledger_calls(func, "debit")
+            credits = _ledger_calls(func, "credit")
+            if not debits or not credits:
+                continue
+            yield from self._check_function(ctx, func, debits, credits)
+
+    def _check_function(
+        self,
+        ctx: FileContext,
+        func: FunctionNode,
+        debits: list[ast.Call],
+        credits: list[ast.Call],
+    ) -> Iterator[Finding]:
+        cfg = build_cfg(func)
+        flagged: set[int] = set()
+        for debit in debits:
+            debit_site = cfg.site_of(debit, ctx.parents)
+            if debit_site is None:
+                continue
+            forward = cfg.reachable_from(debit_site[0])
+            for credit in credits:
+                credit_site = cfg.site_of(credit, ctx.parents)
+                if credit_site is None or credit_site[0] not in forward:
+                    continue
+                backward = cfg.reaching_to(credit_site[0])
+                on_path = forward & backward
+                for src, entry in sorted(cfg.exception_edges):
+                    if src not in on_path:
+                        continue
+                    handler = cfg.handler_entries.get(entry)
+                    if handler is None:
+                        continue  # finally-entry unwind edge, not a catch
+                    if id(handler) in flagged:
+                        continue
+                    if _handler_credits(handler):
+                        continue
+                    if _handler_has(handler, ast.Raise):
+                        continue
+                    if credit_site[0] in cfg.reachable_from(entry):
+                        continue  # the handler rejoins the credit path
+                    flagged.add(id(handler))
+                    yield self.finding(
+                        ctx,
+                        handler,
+                        f"handler can swallow an exception raised between "
+                        f"the debit at line {debit.lineno} and the credit "
+                        f"at line {credit.lineno}: the debit stands, the "
+                        "credit is skipped, and custody leaks",
+                    )

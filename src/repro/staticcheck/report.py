@@ -49,3 +49,67 @@ def render_json(findings: Iterable[Finding]) -> str:
         "findings": items,
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+_SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+def render_sarif(findings: Iterable[Finding]) -> str:
+    """A minimal SARIF 2.1.0 log, deterministic like the JSON reporter.
+
+    One run, one ``repro-lint`` driver; rule metadata (title/suggestion)
+    comes from the registry for the codes that actually fired, so the log
+    is self-describing without embedding the whole catalogue.  CI uploads
+    this so findings can annotate pull requests.
+    """
+    # Imported here, not at module top: rules.py imports model.py, and the
+    # registry is only needed when a SARIF log is actually rendered.
+    from repro.staticcheck.rules import REGISTRY
+
+    materialized = list(findings)
+    fired = sorted({finding.rule for finding in materialized})
+    rules_meta = []
+    for code in fired:
+        rule_class = REGISTRY.get(code)
+        meta: dict[str, object] = {"id": code}
+        if rule_class is not None:
+            meta["shortDescription"] = {"text": rule_class.title}
+            if rule_class.suggestion:
+                meta["help"] = {"text": rule_class.suggestion}
+        rules_meta.append(meta)
+    results = [
+        {
+            "ruleId": finding.rule,
+            "level": "error" if finding.severity is Severity.ERROR else "warning",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path.replace("\\", "/")},
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.column,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in materialized
+    ]
+    payload = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "DESIGN.md",
+                        "rules": rules_meta,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -11,10 +11,22 @@ every rule on that line.  Suppressions are deliberately line-scoped — there
 is no file- or block-level escape hatch, so every waived finding stays
 visible next to the code it waives (the suppression policy is documented in
 DESIGN.md §10).
+
+One widening: a marker on any physical line of a *multi-line simple
+statement* (a wrapped call, a parenthesized expression) covers the whole
+statement — findings anchor at the statement's first line, which is often
+not the line with room for the comment.  Compound statements (``if``,
+``for``, ``try`` …) are NOT widened: a marker on their header must not
+silence their entire body.
+
+Unknown rule codes in a marker are *not* silently inert: the engine emits
+a ``NOQA001`` warning for each (see :mod:`repro.staticcheck.engine`), so a
+typo like ``noqa[DET01]`` is caught instead of shipping a dead waiver.
 """
 
 from __future__ import annotations
 
+import ast
 import re
 
 _NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?")
@@ -50,3 +62,62 @@ def is_suppressed(
         return False
     codes = table[line]
     return codes is None or rule.upper() in codes
+
+
+# ast.TryStar is 3.11+; resolved via getattr so type checking under older
+# python_version settings stays clean.
+_TRY_STAR = getattr(ast, "TryStar", None)
+_COMPOUND_STMTS: tuple[type[ast.stmt], ...] = (
+    ast.If,
+    ast.For,
+    ast.AsyncFor,
+    ast.While,
+    ast.With,
+    ast.AsyncWith,
+    ast.Try,
+    ast.Match,
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.ClassDef,
+) + ((_TRY_STAR,) if _TRY_STAR is not None else ())
+
+
+def expand_over_statements(
+    table: dict[int, frozenset[str] | None], tree: ast.Module
+) -> dict[int, frozenset[str] | None]:
+    """Widen markers on continuation lines to their whole simple statement.
+
+    For every *simple* statement spanning several physical lines, markers
+    found on any of its lines apply to all of them (``None`` — the bare
+    form — wins over any code set).  Compound statements are skipped so a
+    header marker cannot blanket its body.  The input table is unchanged;
+    the widened copy is returned.
+    """
+    widened: dict[int, frozenset[str] | None] = dict(table)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt) or isinstance(node, _COMPOUND_STMTS):
+            continue
+        end = node.end_lineno
+        if end is None or end <= node.lineno:
+            continue
+        span = range(node.lineno, end + 1)
+        merged: frozenset[str] | None = frozenset()
+        found = False
+        for line in span:
+            if line not in table:
+                continue
+            found = True
+            codes = table[line]
+            if codes is None or merged is None:
+                merged = None
+            else:
+                merged = merged | codes
+        if not found:
+            continue
+        for line in span:
+            existing = widened.get(line, frozenset())
+            if merged is None or existing is None:
+                widened[line] = None
+            else:
+                widened[line] = existing | merged
+    return widened

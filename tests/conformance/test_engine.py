@@ -2,19 +2,66 @@
 
 import os
 
+import pytest
+
 from repro.conformance.corpus import load_corpus_file
 from repro.conformance.engine import (
+    FLOW_RULE_CODES,
     CaseResult,
     FuzzConfig,
     FuzzReport,
     case_specs,
     check_problem,
+    flow_preflight,
     generate_case_problem,
     run_fuzz,
     shrink_counterexamples,
 )
 from repro.conformance.oracles import Discrepancy
+from repro.errors import StaticCheckError
 from repro.spec.formatter import format_problem
+
+
+class TestFlowPreflight:
+    def test_the_real_runtime_passes_at_head(self):
+        flow_preflight()  # repro/net must satisfy its own disciplines
+
+    def test_planted_violation_fails_fast(self, tmp_path):
+        bad = tmp_path / "net" / "leaky_node.py"
+        bad.parent.mkdir()
+        bad.write_text(
+            "class Node:\n"
+            "    def __init__(self, wal, writer):\n"
+            "        self.wal = wal\n"
+            "        self.writer = writer\n"
+            "\n"
+            "    def leak(self, key):\n"
+            "        self.writer.write({'type': 'act', 'key': key})\n",
+            encoding="utf-8",
+        )
+        with pytest.raises(StaticCheckError, match="flow preflight failed"):
+            flow_preflight(paths=(str(bad),))
+        try:
+            flow_preflight(paths=(str(bad),))
+        except StaticCheckError as exc:
+            assert "NET001" in str(exc)
+
+    def test_run_fuzz_honors_the_preflight_flag(self, monkeypatch):
+        import repro.conformance.engine as engine_module
+
+        def broken() -> None:
+            raise StaticCheckError("flow preflight failed (planted)")
+
+        monkeypatch.setattr(engine_module, "flow_preflight", broken)
+        with pytest.raises(StaticCheckError):
+            run_fuzz(FuzzConfig(cases=1, simulate=False), processes=1)
+        report = run_fuzz(
+            FuzzConfig(cases=1, simulate=False, preflight=False), processes=1
+        )
+        assert len(report.results) == 1
+
+    def test_flow_rule_codes_are_the_flow_family(self):
+        assert FLOW_RULE_CODES == ("ASY001", "ASY002", "LEDG001", "NET001")
 
 
 class TestCaseSpecs:

@@ -70,6 +70,30 @@ def test_corrupt_middle_raises(tmp_path):
         replay(str(path))
 
 
+def test_corrupt_middle_error_pinpoints_the_record(tmp_path):
+    # The message names the byte offset and record index, so `dd`/`head -c`
+    # can slice the damage out of a real log without guesswork.
+    path = tmp_path / "corrupt.wal"
+    first = encode_json(RECORDS[0])
+    lines = [first, b'{"rec": truncated-garbage', encode_json(RECORDS[2])]
+    path.write_bytes(b"\n".join(lines) + b"\n")
+    with pytest.raises(NetRuntimeError) as excinfo:
+        replay(str(path))
+    message = str(excinfo.value)
+    assert "record 1 of 3" in message
+    assert f"byte offset {len(first) + 1}" in message
+
+
+def test_non_record_error_pinpoints_the_record(tmp_path):
+    path = tmp_path / "alien.wal"
+    path.write_bytes(encode_json({"no": "rec"}) + b"\n" + encode_json(RECORDS[0]) + b"\n")
+    with pytest.raises(NetRuntimeError) as excinfo:
+        replay(str(path))
+    message = str(excinfo.value)
+    assert "record 0 of 2" in message
+    assert "byte offset 0" in message
+
+
 def test_non_record_line_raises(tmp_path):
     path = tmp_path / "alien.wal"
     path.write_bytes(encode_json({"no": "rec"}) + b"\n" + encode_json(RECORDS[0]) + b"\n")

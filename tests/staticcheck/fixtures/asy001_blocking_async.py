@@ -1,0 +1,18 @@
+"""Fixture: ASY001 — blocking call on the event loop, one violation.
+
+``poll_ready`` parks the whole loop in ``time.sleep``; the cooperative
+variant yields with ``asyncio.sleep`` and is clean.
+"""
+
+import asyncio
+import time
+
+
+async def poll_ready(flag):
+    while not flag.is_set():
+        time.sleep(0.05)  # ASY001 expected here
+
+
+async def poll_ready_cooperatively(flag):
+    while not flag.is_set():
+        await asyncio.sleep(0.05)

@@ -1,0 +1,29 @@
+"""Fixture: ASY002 — read-modify-write torn across an await, one violation.
+
+``deposit_torn`` reads the balance, suspends, then writes back the stale
+value: two concurrent deposits can lose one update (the dynamic test in
+``test_flow.py`` demonstrates the interleaving for real).  ``deposit_atomic``
+does the read-modify-write after the suspension, in one uninterrupted step.
+"""
+
+
+import asyncio
+
+
+async def audit(amount):
+    await asyncio.sleep(0)  # a real suspension point: control returns to the loop
+    return amount
+
+
+class Account:
+    def __init__(self):
+        self.balance_units = 0
+
+    async def deposit_torn(self, amount):
+        held = self.balance_units
+        await audit(amount)
+        self.balance_units = held + amount  # ASY002 expected here
+
+    async def deposit_atomic(self, amount):
+        await audit(amount)
+        self.balance_units = self.balance_units + amount

@@ -1,0 +1,32 @@
+"""Fixture: LEDG001 — an exception path that keeps the debit, skips the
+credit.
+
+``settle_lossy``'s handler swallows the audit failure after the payer was
+debited but before the payee was credited — custody leaks.  ``settle_safe``
+credits the money back to the payer in its handler, conserving custody on
+every path.
+"""
+
+
+class AuditError(Exception):
+    pass
+
+
+def settle_lossy(ledger, payer, payee, amount, audit):
+    ledger.debit(payer, amount)
+    try:
+        audit(payer, payee, amount)
+        ledger.credit(payee, amount)
+    except AuditError:  # LEDG001 expected here
+        return None
+    return amount
+
+
+def settle_safe(ledger, payer, payee, amount, audit):
+    ledger.debit(payer, amount)
+    try:
+        audit(payer, payee, amount)
+        ledger.credit(payee, amount)
+    except AuditError:
+        ledger.credit(payer, amount)
+    return amount

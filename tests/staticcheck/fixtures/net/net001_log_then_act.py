@@ -1,0 +1,19 @@
+"""Fixture: NET001 — log-then-act discipline, one deliberate violation.
+
+``send_logged`` shows the discipline (WAL append dominates the frame);
+``send_unlogged`` ships an act frame on a path with no preceding append.
+"""
+
+
+class Node:
+    def __init__(self, wal, writer):
+        self.wal = wal
+        self.writer = writer
+
+    def send_logged(self, key):
+        self.wal.append({"kind": "send", "key": key})
+        self.writer.write({"type": "act", "key": key})
+
+    def send_unlogged(self, key):
+        if key:
+            self.writer.write({"type": "act", "key": key})  # NET001 expected here

@@ -1,0 +1,375 @@
+"""Unit tests for the flow engine (CFG, dominance, dataflow, call graph) —
+plus a dynamic demonstration that the ASY002 fixture's torn update loses
+real money under real task interleaving.
+"""
+
+from __future__ import annotations
+
+import ast
+import asyncio
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+from repro.staticcheck import FileContext
+from repro.staticcheck.flow import (
+    DominatorInfo,
+    ModuleCallGraph,
+    build_cfg,
+    contains_await,
+    find_torn_updates,
+    reaching_definitions,
+    statement_awaits,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _first_function(source: str):
+    """Parse *source* and return (func node, parents map) of its first def."""
+    ctx = FileContext.build("<test>", source)
+    func = next(
+        node
+        for node in ast.walk(ctx.tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+    return func, ctx
+
+
+class TestCfgConstruction:
+    def test_linear_body_is_one_block(self):
+        func, _ = _first_function(
+            "def f(x):\n"
+            "    a = x + 1\n"
+            "    b = a * 2\n"
+            "    return b\n"
+        )
+        cfg = build_cfg(func)
+        placed = {site[0] for site in cfg.sites.values()}
+        assert placed == {cfg.entry}
+        # Sites are ordered within the block.
+        assert sorted(cfg.sites.values()) == [(cfg.entry, i) for i in range(3)]
+        assert cfg.exit in cfg.blocks[cfg.entry].successors
+
+    def test_if_else_makes_a_diamond(self):
+        func, _ = _first_function(
+            "def f(x):\n"
+            "    if x:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        a = 2\n"
+            "    return a\n"
+        )
+        cfg = build_cfg(func)
+        head = cfg.sites[func.body[0]][0]
+        assert len(cfg.blocks[head].successors) == 2
+        then_block = cfg.sites[func.body[0].body[0]][0]
+        else_block = cfg.sites[func.body[0].orelse[0]][0]
+        join = cfg.sites[func.body[1]][0]
+        assert cfg.blocks[then_block].successors == {join}
+        assert cfg.blocks[else_block].successors == {join}
+
+    def test_while_break_exits_to_after(self):
+        func, _ = _first_function(
+            "def f(xs):\n"
+            "    while True:\n"
+            "        if not xs:\n"
+            "            break\n"
+            "        xs.pop()\n"
+            "    return xs\n"
+        )
+        cfg = build_cfg(func)
+        loop = func.body[0]
+        break_stmt = loop.body[0].body[0]
+        after = cfg.sites[func.body[1]][0]
+        assert after in cfg.blocks[cfg.sites[break_stmt][0]].successors
+
+    def test_try_body_has_exception_edges_to_handler(self):
+        func, _ = _first_function(
+            "def f(job):\n"
+            "    try:\n"
+            "        a = job()\n"
+            "        b = a + 1\n"
+            "    except ValueError:\n"
+            "        b = 0\n"
+            "    return b\n"
+        )
+        cfg = build_cfg(func)
+        try_stmt = func.body[0]
+        body_block = cfg.sites[try_stmt.body[0]][0]
+        handler_block = cfg.sites[try_stmt.handlers[0].body[0]][0]
+        assert (body_block, handler_block) in cfg.exception_edges
+        assert cfg.handler_entries[handler_block] is try_stmt.handlers[0]
+
+    def test_return_terminates_the_path(self):
+        func, _ = _first_function(
+            "def f(x):\n"
+            "    if x:\n"
+            "        return 1\n"
+            "    return 2\n"
+        )
+        cfg = build_cfg(func)
+        ret1 = cfg.sites[func.body[0].body[0]][0]
+        assert cfg.blocks[ret1].successors == {cfg.exit}
+
+    def test_site_of_resolves_nested_expressions(self):
+        func, ctx = _first_function(
+            "def f(x):\n"
+            "    return max(x, 0)\n"
+        )
+        cfg = build_cfg(func)
+        call = next(n for n in ast.walk(func) if isinstance(n, ast.Call))
+        assert cfg.site_of(call, ctx.parents) == cfg.sites[func.body[0]]
+
+    def test_nested_defs_are_single_statements(self):
+        func, _ = _first_function(
+            "def f(x):\n"
+            "    def g():\n"
+            "        return x + 1\n"
+            "    return g\n"
+        )
+        cfg = build_cfg(func)
+        inner_return = func.body[0].body[0]
+        assert inner_return not in cfg.sites  # runs in another frame
+
+
+class TestAwaitHelpers:
+    def test_contains_await_sees_direct_awaits_only(self):
+        func, _ = _first_function(
+            "async def f():\n"
+            "    await g()\n"
+            "    async def inner():\n"
+            "        await h()\n"
+        )
+        assert contains_await(func.body[0])
+        assert not contains_await(func.body[1])  # nested frame's await
+
+    def test_statement_awaits_checks_compound_heads_only(self):
+        func, _ = _first_function(
+            "async def f(xs):\n"
+            "    if await ready():\n"
+            "        pass\n"
+            "    while xs:\n"
+            "        await step()\n"
+        )
+        assert statement_awaits(func.body[0])  # await in the test
+        assert not statement_awaits(func.body[1])  # body awaits, head doesn't
+
+
+class TestDominance:
+    def test_diamond_head_dominates_join_branches_do_not(self):
+        func, _ = _first_function(
+            "def f(x):\n"
+            "    if x:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        a = 2\n"
+            "    return a\n"
+        )
+        cfg = build_cfg(func)
+        doms = DominatorInfo.build(cfg)
+        head = cfg.sites[func.body[0]][0]
+        then_block = cfg.sites[func.body[0].body[0]][0]
+        join = cfg.sites[func.body[1]][0]
+        assert doms.block_dominates(head, join)
+        assert not doms.block_dominates(then_block, join)
+
+    def test_same_block_order_is_strict(self):
+        func, _ = _first_function(
+            "def f(x):\n"
+            "    a = 1\n"
+            "    b = 2\n"
+        )
+        cfg = build_cfg(func)
+        doms = DominatorInfo.build(cfg)
+        site_a = cfg.sites[func.body[0]]
+        site_b = cfg.sites[func.body[1]]
+        assert doms.site_dominates(site_a, site_b)
+        assert not doms.site_dominates(site_b, site_a)
+        assert not doms.site_dominates(site_a, site_a)
+
+    def test_dead_code_is_vacuously_dominated(self):
+        func, ctx = _first_function(
+            "def f(x):\n"
+            "    return x\n"
+            "    send({'type': 'act'})\n"
+        )
+        cfg = build_cfg(func)
+        doms = DominatorInfo.build(cfg)
+        dead = cfg.sites[func.body[1]]
+        live = cfg.sites[func.body[0]]
+        # The dead statement never executes, so every site "dominates" it —
+        # dead sends can't produce undominated-effect findings.
+        assert doms.site_dominates(live, dead)
+
+
+class TestReachingDefinitions:
+    def test_branch_definitions_merge_at_join(self):
+        func, _ = _first_function(
+            "def f(x):\n"
+            "    if x:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        a = 2\n"
+            "    return a\n"
+        )
+        cfg = build_cfg(func)
+        reaching = reaching_definitions(cfg)
+        join = cfg.sites[func.body[1]][0]
+        lines = {d.line for d in reaching[join] if d.name == "a"}
+        assert lines == {3, 5}
+
+    def test_redefinition_kills_upstream_definition(self):
+        func, _ = _first_function(
+            "def f(x):\n"
+            "    a = 1\n"
+            "    a = 2\n"
+            "    return a\n"
+        )
+        cfg = build_cfg(func)
+        reaching = reaching_definitions(cfg)
+        at_exit = reaching[cfg.exit]
+        lines = {d.line for d in at_exit if d.name == "a"}
+        assert lines == {3}
+
+
+class TestCallGraph:
+    def test_async_reachable_builds_chains(self):
+        ctx = FileContext.build(
+            "m.py",
+            "async def top():\n"
+            "    middle()\n"
+            "\n"
+            "def middle():\n"
+            "    bottom()\n"
+            "\n"
+            "def bottom():\n"
+            "    pass\n",
+        )
+        graph = ModuleCallGraph.build(ctx)
+        reached = {f.name: chain for f, chain in graph.async_reachable().items()}
+        assert reached == {
+            "middle": ("top", "middle"),
+            "bottom": ("top", "middle", "bottom"),
+        }
+
+    def test_parameters_shadow_module_functions(self):
+        ctx = FileContext.build(
+            "m.py",
+            "def helper():\n"
+            "    pass\n"
+            "\n"
+            "async def run(helper):\n"
+            "    helper()\n",
+        )
+        graph = ModuleCallGraph.build(ctx)
+        # The call inside run binds to the *parameter*, not the module def.
+        assert graph.async_reachable() == {}
+
+    def test_unknown_names_resolve_to_nothing(self):
+        ctx = FileContext.build("m.py", "def f():\n    outside()\n")
+        graph = ModuleCallGraph.build(ctx)
+        assert graph.sites_calling("outside") == []
+
+
+class TestTornUpdateAnalysis:
+    def _torn(self, source: str):
+        func, _ = _first_function(source)
+        return find_torn_updates(build_cfg(func))
+
+    def test_read_await_writeback_is_torn(self):
+        torn = self._torn(
+            "async def f(self, n):\n"
+            "    held = self.total\n"
+            "    await pause()\n"
+            "    self.total = held + n\n"
+        )
+        assert [(t.attr, t.read_line) for t in torn] == [("total", 2)]
+
+    def test_fresh_read_after_await_is_clean(self):
+        assert self._torn(
+            "async def f(self, n):\n"
+            "    await pause()\n"
+            "    held = self.total\n"
+            "    self.total = held + n\n"
+        ) == []
+
+    def test_augassign_with_await_in_value_is_torn(self):
+        torn = self._torn(
+            "async def f(self, n):\n"
+            "    self.total += await price(n)\n"
+        )
+        assert [t.attr for t in torn] == ["total"]
+
+    def test_inline_read_with_await_in_same_statement_is_torn(self):
+        torn = self._torn(
+            "async def f(self, n):\n"
+            "    self.total = self.total + await price(n)\n"
+        )
+        assert [t.attr for t in torn] == ["total"]
+
+    def test_taint_flows_through_loops(self):
+        torn = self._torn(
+            "async def f(self, items):\n"
+            "    held = self.total\n"
+            "    for item in items:\n"
+            "        await push(item)\n"
+            "    self.total = held + 1\n"
+        )
+        assert [t.attr for t in torn] == ["total"]
+
+    def test_write_to_a_different_attribute_is_clean(self):
+        # Staleness only matters when the stale read feeds the SAME
+        # attribute back — writing old total into another field is not a
+        # lost update of that field.
+        assert self._torn(
+            "async def f(self, n):\n"
+            "    held = self.total\n"
+            "    await pause()\n"
+            "    self.other = held + n\n"
+        ) == []
+
+    def test_no_await_no_finding(self):
+        assert self._torn(
+            "async def f(self, n):\n"
+            "    held = self.total\n"
+            "    self.total = held + n\n"
+        ) == []
+
+
+class TestLostUpdateIsReal:
+    """Run the ASY002 fixture for real: the flagged method loses an update
+    under genuine task interleaving; the clean variant does not."""
+
+    @pytest.fixture()
+    def account_module(self):
+        path = FIXTURES / "asy002_await_race.py"
+        spec = importlib.util.spec_from_file_location("asy002_fixture", path)
+        assert spec is not None and spec.loader is not None
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_torn_deposit_loses_an_update(self, account_module):
+        account = account_module.Account()
+
+        async def scenario():
+            await asyncio.gather(
+                account.deposit_torn(100), account.deposit_torn(100)
+            )
+
+        asyncio.run(scenario())
+        # Both tasks read 0 before either write landed: one deposit vanishes.
+        assert account.balance_units == 100
+
+    def test_atomic_deposit_keeps_both(self, account_module):
+        account = account_module.Account()
+
+        async def scenario():
+            await asyncio.gather(
+                account.deposit_atomic(100), account.deposit_atomic(100)
+            )
+
+        asyncio.run(scenario())
+        assert account.balance_units == 200

@@ -31,6 +31,12 @@ RULE_FIXTURES = {
     "MONEY001": FIXTURES / "money001_float_math.py",
     "EXC001": FIXTURES / "exc001_control_flow.py",
     "OBS001": FIXTURES / "obs001_span_discipline.py",
+    # Flow-sensitive rules (DESIGN.md §14); NET001 lives under net/ to
+    # satisfy its package gate.
+    "NET001": FIXTURES / "net" / "net001_log_then_act.py",
+    "ASY001": FIXTURES / "asy001_blocking_async.py",
+    "ASY002": FIXTURES / "asy002_await_race.py",
+    "LEDG001": FIXTURES / "ledg001_exception_skew.py",
 }
 
 # DET002's sink inference also covers ``*payload*`` names (the flatcore
@@ -251,6 +257,10 @@ class TestRegistry:
             "MONEY001",
             "EXC001",
             "OBS001",
+            "NET001",
+            "ASY001",
+            "ASY002",
+            "LEDG001",
         }
 
     def test_resolve_call_handles_dotted_chains(self):

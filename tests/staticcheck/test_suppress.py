@@ -1,0 +1,134 @@
+"""Edge cases of the noqa suppression layer (DESIGN.md §10/§14).
+
+Covers the continuation-line widening for multi-line simple statements,
+multiple rule codes in one marker, and the NOQA001 warning for unknown
+codes (a typo'd waiver must not pass silently).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.staticcheck import Severity, default_rules, lint_python_source
+from repro.staticcheck.suppress import (
+    expand_over_statements,
+    is_suppressed,
+    suppressed_rules,
+)
+
+
+class TestMarkerParsing:
+    def test_multiple_codes_in_one_comment(self):
+        table = suppressed_rules("x = 1  # repro: noqa[DET001, MONEY001]\n")
+        assert table == {1: frozenset({"DET001", "MONEY001"})}
+
+    def test_codes_are_case_normalized(self):
+        table = suppressed_rules("x = 1  # repro: noqa[det001]\n")
+        assert is_suppressed(table, 1, "DET001")
+
+    def test_bare_form_suppresses_everything(self):
+        table = suppressed_rules("x = 1  # repro: noqa\n")
+        assert table == {1: None}
+        assert is_suppressed(table, 1, "ANYTHING")
+
+    def test_empty_bracket_degrades_to_bare(self):
+        table = suppressed_rules("x = 1  # repro: noqa[ , ]\n")
+        assert table == {1: None}
+
+
+class TestContinuationLineWidening:
+    SOURCE = (
+        "result = transform(\n"
+        "    payload,\n"
+        "    retries=3,  # repro: noqa[DET001]\n"
+        ")\n"
+    )
+
+    def _widened(self, source: str):
+        return expand_over_statements(suppressed_rules(source), ast.parse(source))
+
+    def test_marker_on_a_continuation_line_covers_the_statement(self):
+        table = self._widened(self.SOURCE)
+        # Findings anchor at the statement's first line; the marker sits on
+        # the only line with room for it.
+        assert all(is_suppressed(table, line, "DET001") for line in (1, 2, 3, 4))
+
+    def test_widening_does_not_leak_past_the_statement(self):
+        table = self._widened(self.SOURCE + "other = 1\n")
+        assert not is_suppressed(table, 5, "DET001")
+
+    def test_markers_on_two_lines_of_one_statement_merge(self):
+        source = (
+            "result = transform(  # repro: noqa[DET001]\n"
+            "    payload,  # repro: noqa[MONEY001]\n"
+            ")\n"
+        )
+        table = self._widened(source)
+        assert is_suppressed(table, 1, "MONEY001")
+        assert is_suppressed(table, 2, "DET001")
+
+    def test_bare_marker_wins_over_codes(self):
+        source = (
+            "result = transform(  # repro: noqa[DET001]\n"
+            "    payload,  # repro: noqa\n"
+            ")\n"
+        )
+        table = self._widened(source)
+        assert is_suppressed(table, 1, "ANYTHING")
+
+    def test_compound_header_marker_does_not_blanket_the_body(self):
+        source = (
+            "if flag:  # repro: noqa[DET001]\n"
+            "    risky()\n"
+        )
+        table = self._widened(source)
+        assert is_suppressed(table, 1, "DET001")
+        assert not is_suppressed(table, 2, "DET001")
+
+    def test_widened_suppression_silences_a_real_finding(self):
+        # The DET001 call sits on line 3; the marker on the closing paren.
+        source = (
+            "import time\n"
+            "\n"
+            "stamp = time.time(\n"
+            ")  # repro: noqa[DET001]\n"
+        )
+        assert lint_python_source("core/x.py", source, default_rules()) == []
+
+
+class TestUnknownCodes:
+    def test_unknown_code_warns_instead_of_passing_silently(self):
+        findings = lint_python_source(
+            "m.py", "x = 1  # repro: noqa[DET01]\n", default_rules()
+        )
+        assert [f.rule for f in findings] == ["NOQA001"]
+        assert findings[0].severity is Severity.WARNING
+        assert "DET01" in findings[0].message
+
+    def test_known_codes_do_not_warn(self):
+        findings = lint_python_source(
+            "m.py", "x = 1  # repro: noqa[DET001, NET001]\n", default_rules()
+        )
+        assert findings == []
+
+    def test_mixed_marker_warns_only_for_the_unknown_code(self):
+        findings = lint_python_source(
+            "m.py", "x = 1  # repro: noqa[DET001, BOGUS9]\n", default_rules()
+        )
+        assert [f.rule for f in findings] == ["NOQA001"]
+        assert "BOGUS9" in findings[0].message
+        assert "DET001" not in findings[0].message
+
+    def test_bare_marker_names_nothing_to_validate(self):
+        findings = lint_python_source(
+            "m.py", "x = 1  # repro: noqa\n", default_rules()
+        )
+        assert findings == []
+
+    def test_warning_does_not_gate_the_exit_code(self):
+        from repro.staticcheck import error_count
+
+        findings = lint_python_source(
+            "m.py", "x = 1  # repro: noqa[BOGUS9]\n", default_rules()
+        )
+        assert error_count(findings) == 0

@@ -309,13 +309,62 @@ class TestLint:
 
         assert main(["lint", self.FIXTURES, "--format", "json"]) == 1
         payload = json_module.loads(capsys.readouterr().out)
-        assert payload["count"] == 7  # DET002 has two fixtures (set + payload)
-        assert payload["errors"] == 7
+        # One per rule fixture (DET002 has two: set + payload sink).
+        assert payload["count"] == 11
+        assert payload["errors"] == 11
         assert payload["warnings"] == 0
 
     def test_fix_suggestions_render(self, capsys):
         assert main(["lint", self.FIXTURES, "--fix-suggestions"]) == 1
         assert "fix:" in capsys.readouterr().out
+
+    def test_sarif_format_is_valid_sarif(self, capsys):
+        import json as json_module
+
+        assert main(["lint", self.FIXTURES, "--format", "sarif"]) == 1
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        result_rules = {result["ruleId"] for result in run["results"]}
+        assert result_rules == rule_ids
+        assert {"NET001", "ASY001", "ASY002", "LEDG001"} <= result_rules
+        first = run["results"][0]
+        location = first["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"]
+        assert location["region"]["startLine"] >= 1
+
+    def test_write_baseline_then_lint_is_clean(self, tmp_path, capsys):
+        baseline = str(tmp_path / "baseline.json")
+        assert main(
+            ["lint", self.FIXTURES, "--baseline", baseline, "--write-baseline"]
+        ) == 0
+        assert "recorded 11 finding(s)" in capsys.readouterr().out
+        assert main(["lint", self.FIXTURES, "--baseline", baseline]) == 0
+        out = capsys.readouterr().out
+        assert "11 baselined finding(s) suppressed" in out
+
+    def test_baseline_still_fails_on_regressions(self, tmp_path, capsys):
+        baseline = str(tmp_path / "baseline.json")
+        one_fixture = f"{self.FIXTURES}/exc001_control_flow.py"
+        assert main(
+            ["lint", one_fixture, "--baseline", baseline, "--write-baseline"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["lint", self.FIXTURES, "--baseline", baseline]) == 1
+        out = capsys.readouterr().out
+        assert "EXC001" not in out  # the recorded finding stays suppressed
+        assert "DET001" in out  # everything else is a regression
+
+    def test_write_baseline_without_baseline_is_usage_error(self, capsys):
+        assert main(["lint", self.FIXTURES, "--write-baseline"]) == 2
+        assert "--write-baseline requires --baseline" in capsys.readouterr().err
+
+    def test_corrupt_baseline_is_usage_error(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("{not json", encoding="utf-8")
+        assert main(["lint", self.FIXTURES, "--baseline", str(baseline)]) == 2
+        assert "baseline" in capsys.readouterr().err
 
     def test_spec_warnings_do_not_fail(self, tmp_path, capsys):
         spec = tmp_path / "warned.exchange"
